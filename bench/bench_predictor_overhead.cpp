@@ -1,0 +1,97 @@
+// §4.2 — "To have a small overhead is important since prediction has to be
+// done at runtime. It was shown in [6] that the overhead of such an
+// implementation is small." google-benchmark micro-benchmarks of the
+// predictor hot path: observe() (per received message) and predict()
+// (per lookahead request), plus baselines for comparison.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/baselines/markov.hpp"
+#include "core/stream_predictor.hpp"
+
+namespace {
+
+using mpipred::core::DpdConfig;
+using mpipred::core::MarkovPredictor;
+using mpipred::core::StreamPredictor;
+using mpipred::core::StreamPredictorConfig;
+
+std::vector<std::int64_t> periodic_stream(std::size_t period, std::size_t n) {
+  std::vector<std::int64_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::int64_t>(i % period);
+  }
+  return out;
+}
+
+void BM_DpdObserve(benchmark::State& state) {
+  StreamPredictorConfig cfg;
+  cfg.dpd.max_period = static_cast<std::size_t>(state.range(0));
+  cfg.dpd.window = 2 * cfg.dpd.max_period + 16;
+  StreamPredictor predictor(cfg);
+  const auto stream = periodic_stream(18, 4096);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    predictor.observe(stream[i++ & 4095]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DpdObserve)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_DpdPredictAllHorizons(benchmark::State& state) {
+  StreamPredictor predictor;
+  for (const auto v : periodic_stream(18, 512)) {
+    predictor.observe(v);
+  }
+  for (auto _ : state) {
+    for (std::size_t h = 1; h <= 5; ++h) {
+      benchmark::DoNotOptimize(predictor.predict(h));
+    }
+  }
+}
+BENCHMARK(BM_DpdPredictAllHorizons);
+
+void BM_DpdObserveAndPredict(benchmark::State& state) {
+  // The full per-message runtime cost: one observation + refreshing the
+  // five-value lookahead (what an MPI library would pay per receive).
+  StreamPredictor predictor;
+  const auto stream = periodic_stream(18, 4096);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    predictor.observe(stream[i++ & 4095]);
+    for (std::size_t h = 1; h <= 5; ++h) {
+      benchmark::DoNotOptimize(predictor.predict(h));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DpdObserveAndPredict);
+
+void BM_MarkovObserve(benchmark::State& state) {
+  MarkovPredictor predictor(static_cast<std::size_t>(state.range(0)));
+  const auto stream = periodic_stream(18, 4096);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    predictor.observe(stream[i++ & 4095]);
+  }
+}
+BENCHMARK(BM_MarkovObserve)->Arg(1)->Arg(2);
+
+void BM_DpdMemoryFootprint(benchmark::State& state) {
+  // Not a timing benchmark: reports the predictor state size as a counter
+  // (window + lag tables), the quantity that must stay small per peer.
+  StreamPredictorConfig cfg;
+  for (auto _ : state) {
+    StreamPredictor predictor(cfg);
+    benchmark::DoNotOptimize(predictor);
+  }
+  state.counters["state_bytes"] = static_cast<double>(
+      cfg.dpd.window * sizeof(std::int64_t) + 2 * cfg.dpd.max_period * sizeof(std::size_t));
+}
+BENCHMARK(BM_DpdMemoryFootprint);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+#pragma once
+
+// Shared plumbing for the reproduction benches: every bench runs one or
+// more kernels at Class A under the paper noise profile and prints the
+// rows/series of the corresponding paper table or figure.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "apps/registry.hpp"
+#include "core/evaluate.hpp"
+#include "mpi/world.hpp"
+#include "trace/stats.hpp"
+#include "trace/stream.hpp"
+
+namespace mpipred::bench {
+
+struct TracedRun {
+  std::unique_ptr<mpi::World> world;
+  apps::AppOutcome outcome;
+};
+
+/// Runs `app` with `procs` ranks at the given class under the paper's
+/// simulated-machine profile and returns the world (with traces) plus the
+/// outcome. Seed fixed by default for reproducible bench output.
+inline TracedRun run_traced(const std::string& app, int procs,
+                            apps::ProblemClass cls = apps::ProblemClass::A,
+                            std::uint64_t seed = 2003) {
+  TracedRun run;
+  run.world = std::make_unique<mpi::World>(procs, apps::paper_world_config(seed));
+  run.outcome = apps::find_app(app).run(*run.world, apps::AppConfig{.problem_class = cls});
+  return run;
+}
+
+inline double pct(double x) { return 100.0 * x; }
+
+/// Per-(app, procs) cell of Figures 3/4: accuracy of +1..+5 for both
+/// streams at one level.
+inline core::StreamEvaluation evaluate_level(mpi::World& world, trace::Level level) {
+  const int rep = trace::representative_rank(world.traces(), level);
+  const auto streams = trace::extract_streams(world.traces(), rep, level);
+  return core::evaluate_streams(streams, core::StreamPredictorConfig{});
+}
+
+inline void print_accuracy_grid_header(const char* what) {
+  std::printf("%-10s %-8s", "config", what);
+  for (int h = 1; h <= 5; ++h) {
+    std::printf("   +%d ", h);
+  }
+  std::printf("\n");
+}
+
+inline void print_accuracy_row(const std::string& config, const char* stream,
+                               const core::AccuracyReport& report) {
+  std::printf("%-10s %-8s", config.c_str(), stream);
+  for (std::size_t h = 1; h <= 5; ++h) {
+    std::printf(" %5.1f", pct(report.at(h).accuracy()));
+  }
+  std::printf("\n");
+}
+
+}  // namespace mpipred::bench

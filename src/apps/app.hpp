@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/common.hpp"
+#include "mpi/world.hpp"
+
+namespace mpipred::apps {
+
+/// Run configuration shared by every kernel.
+struct AppConfig {
+  ProblemClass problem_class = ProblemClass::A;
+  /// Overrides the class's iteration count when > 0 (unit tests use tiny
+  /// counts; benches keep the class default, which matches the paper).
+  int iterations_override = 0;
+};
+
+/// What a kernel run produced, beyond the traces collected by the World.
+struct AppOutcome {
+  std::string name;
+  int nprocs = 0;
+  int iterations = 0;
+  /// Application-level invariant held (sorted output, residual decreased,
+  /// conservation checks...).
+  bool verified = false;
+  /// App-specific quality metric (CG: final residual norm; IS: number of
+  /// ordering violations; others: 0).
+  double metric = 0.0;
+  /// Per-rank payload checksums; must be bit-identical across network
+  /// noise seeds — message *content* and program order never depend on
+  /// arrival timing.
+  std::vector<std::uint64_t> rank_checksums;
+
+  /// Checksum of checksums, convenient for cross-seed comparisons.
+  [[nodiscard]] std::uint64_t combined_checksum() const noexcept {
+    std::uint64_t h = 0x9E3779B97F4A7C15ULL;
+    for (const auto c : rank_checksums) {
+      h = mix(h, c);
+    }
+    return h;
+  }
+};
+
+// One entry point per kernel. Each runs its per-rank program on `world`
+// (one run per World) and returns the outcome; traces accumulate in
+// world.traces().
+[[nodiscard]] AppOutcome run_bt(mpi::World& world, const AppConfig& cfg = {});
+[[nodiscard]] AppOutcome run_cg(mpi::World& world, const AppConfig& cfg = {});
+[[nodiscard]] AppOutcome run_lu(mpi::World& world, const AppConfig& cfg = {});
+[[nodiscard]] AppOutcome run_is(mpi::World& world, const AppConfig& cfg = {});
+[[nodiscard]] AppOutcome run_sweep3d(mpi::World& world, const AppConfig& cfg = {});
+
+/// The simulated-machine profile used for the paper's experiments. The
+/// logical level never depends on it; the *physical* level does. The
+/// profile models a dedicated 2003-era SP-class machine: moderate wire
+/// jitter, mild OS/load imbalance, and systematic per-pair route-length
+/// differences (which consistently break ties between racing senders —
+/// the reason pipelined codes keep high physical predictability while
+/// collective bursts do not).
+[[nodiscard]] inline mpi::WorldConfig paper_world_config(std::uint64_t seed,
+                                                         bool physical_noise = true) {
+  mpi::WorldConfig cfg;
+  cfg.engine.seed = seed;
+  if (physical_noise) {
+    cfg.engine.network.latency_jitter_cv = 0.10;
+    cfg.engine.network.compute_jitter_cv = 0.03;
+    cfg.engine.network.path_skew = 1.0;
+  }
+  return cfg;
+}
+
+// Process-count validity (paper's Table 1 lists the counts actually used).
+[[nodiscard]] bool bt_supports(int nprocs);       // perfect squares
+[[nodiscard]] bool cg_supports(int nprocs);       // powers of two
+[[nodiscard]] bool lu_supports(int nprocs);       // powers of two
+[[nodiscard]] bool is_supports(int nprocs);       // powers of two
+[[nodiscard]] bool sweep3d_supports(int nprocs);  // any p >= 2 with a 2D factorization
+
+}  // namespace mpipred::apps

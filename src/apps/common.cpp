@@ -1,0 +1,24 @@
+#include "apps/common.hpp"
+
+#include <cmath>
+
+namespace mpipred::apps {
+
+Grid2D Grid2D::near_square(int p) {
+  MPIPRED_REQUIRE(p >= 1, "process count must be positive");
+  int rows = static_cast<int>(std::sqrt(static_cast<double>(p)));
+  while (rows > 1 && p % rows != 0) {
+    --rows;
+  }
+  return Grid2D(rows, p / rows);
+}
+
+std::optional<Grid2D> Grid2D::square(int p) {
+  const int q = static_cast<int>(std::sqrt(static_cast<double>(p)) + 0.5);
+  if (q >= 1 && q * q == p) {
+    return Grid2D(q, q);
+  }
+  return std::nullopt;
+}
+
+}  // namespace mpipred::apps

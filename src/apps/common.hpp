@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace mpipred::apps {
+
+/// Problem classes in the NAS sense. `Toy` is a miniature configuration for
+/// unit tests; `A` is what the paper measures.
+enum class ProblemClass : std::uint8_t { Toy, S, W, A };
+
+[[nodiscard]] constexpr std::string_view to_string(ProblemClass c) noexcept {
+  switch (c) {
+    case ProblemClass::Toy: return "Toy";
+    case ProblemClass::S: return "S";
+    case ProblemClass::W: return "W";
+    case ProblemClass::A: return "A";
+  }
+  return "?";
+}
+
+/// FNV-1a over raw bytes: the running checksum every kernel folds its
+/// received payloads into. Checksums must be identical across noise seeds
+/// (communication correctness does not depend on message timing).
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::span<const std::byte> bytes,
+                                            std::uint64_t seed = 0xcbf29ce484222325ULL) noexcept {
+  std::uint64_t h = seed;
+  for (const std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Cheap value mixer for generating deterministic synthetic payloads.
+[[nodiscard]] constexpr std::uint64_t mix(std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t x = a + 0x9e3779b97f4a7c15ULL + (b << 6) + (b >> 2);
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Fills a byte buffer with a deterministic pattern derived from `seed`.
+inline void fill_pattern(std::span<std::byte> buffer, std::uint64_t seed) {
+  std::uint64_t state = seed;
+  std::size_t i = 0;
+  while (i + 8 <= buffer.size()) {
+    state = mix(state, i);
+    for (int b = 0; b < 8; ++b) {
+      buffer[i + static_cast<std::size_t>(b)] = static_cast<std::byte>(state >> (8 * b));
+    }
+    i += 8;
+  }
+  for (; i < buffer.size(); ++i) {
+    buffer[i] = static_cast<std::byte>(mix(state, i));
+  }
+}
+
+/// 2D process grid with both torus and bounded neighbor queries; used by
+/// every kernel that decomposes its domain in two dimensions.
+class Grid2D {
+ public:
+  Grid2D(int rows, int cols) : rows_(rows), cols_(cols) {
+    MPIPRED_REQUIRE(rows >= 1 && cols >= 1, "grid dimensions must be positive");
+  }
+
+  /// Largest factorization rows*cols == p with rows <= cols and rows as
+  /// close to sqrt(p) as possible (8 -> 2x4, 32 -> 4x8, 6 -> 2x3).
+  [[nodiscard]] static Grid2D near_square(int p);
+
+  /// Square grid if p is a perfect square.
+  [[nodiscard]] static std::optional<Grid2D> square(int p);
+
+  [[nodiscard]] int rows() const noexcept { return rows_; }
+  [[nodiscard]] int cols() const noexcept { return cols_; }
+  [[nodiscard]] int size() const noexcept { return rows_ * cols_; }
+
+  [[nodiscard]] int rank_of(int row, int col) const noexcept {
+    const int r = ((row % rows_) + rows_) % rows_;
+    const int c = ((col % cols_) + cols_) % cols_;
+    return r * cols_ + c;
+  }
+
+  [[nodiscard]] std::pair<int, int> coords_of(int rank) const {
+    MPIPRED_REQUIRE(rank >= 0 && rank < size(), "rank outside grid");
+    return {rank / cols_, rank % cols_};
+  }
+
+  // Torus neighbors (always defined).
+  [[nodiscard]] int north(int rank) const { return shifted(rank, -1, 0); }
+  [[nodiscard]] int south(int rank) const { return shifted(rank, +1, 0); }
+  [[nodiscard]] int west(int rank) const { return shifted(rank, 0, -1); }
+  [[nodiscard]] int east(int rank) const { return shifted(rank, 0, +1); }
+
+  // Bounded neighbors (nullopt at the domain edge).
+  [[nodiscard]] std::optional<int> north_bounded(int rank) const { return bounded(rank, -1, 0); }
+  [[nodiscard]] std::optional<int> south_bounded(int rank) const { return bounded(rank, +1, 0); }
+  [[nodiscard]] std::optional<int> west_bounded(int rank) const { return bounded(rank, 0, -1); }
+  [[nodiscard]] std::optional<int> east_bounded(int rank) const { return bounded(rank, 0, +1); }
+
+ private:
+  [[nodiscard]] int shifted(int rank, int dr, int dc) const {
+    const auto [r, c] = coords_of(rank);
+    return rank_of(r + dr, c + dc);
+  }
+
+  [[nodiscard]] std::optional<int> bounded(int rank, int dr, int dc) const {
+    const auto [r, c] = coords_of(rank);
+    const int nr = r + dr;
+    const int nc = c + dc;
+    if (nr < 0 || nr >= rows_ || nc < 0 || nc >= cols_) {
+      return std::nullopt;
+    }
+    return rank_of(nr, nc);
+  }
+
+  int rows_;
+  int cols_;
+};
+
+/// Splits `total` points over `parts` chunks; chunk `index` gets the
+/// remainder-balanced share.
+[[nodiscard]] constexpr int chunk_size(int total, int parts, int index) noexcept {
+  return total / parts + (index < total % parts ? 1 : 0);
+}
+
+}  // namespace mpipred::apps

@@ -1,0 +1,210 @@
+#include <algorithm>
+#include <bit>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "apps/common.hpp"
+#include "mpi/communicator.hpp"
+#include "mpi/typed.hpp"
+#include "sim/rng.hpp"
+
+// NAS IS kernel (bucketed integer sort) with real sorting numerics.
+//
+// IS is the paper's collective-dominated workload: each ranking iteration
+// performs
+//
+//   allreduce  : global bucket histogram (num_buckets int32 = 4 KiB),
+//   alltoall   : per-destination key counts (one int64 per rank),
+//   alltoallv  : the keys themselves (data-dependent sizes),
+//
+// plus one point-to-point message per iteration: the partition boundary
+// check with the right neighbor (11 p2p messages for the 10+1 iterations of
+// Class A — exactly Table 1's IS row). Verification confirms the global
+// ordering: every key on rank r must be <= every key on rank r+1, and the
+// total key count must be conserved.
+
+namespace mpipred::apps {
+
+namespace {
+
+struct IsParams {
+  std::int64_t total_keys;
+  std::int32_t max_key;
+  int iterations;
+  int num_buckets;
+};
+
+IsParams is_params(ProblemClass cls) {
+  switch (cls) {
+    case ProblemClass::Toy:
+      return {.total_keys = 1 << 12, .max_key = 1 << 8, .iterations = 3, .num_buckets = 64};
+    case ProblemClass::S:
+      return {.total_keys = 1 << 16, .max_key = 1 << 11, .iterations = 10, .num_buckets = 1024};
+    case ProblemClass::W:
+      return {.total_keys = 1 << 20, .max_key = 1 << 16, .iterations = 10, .num_buckets = 1024};
+    case ProblemClass::A:
+      return {.total_keys = 1 << 23, .max_key = 1 << 19, .iterations = 10, .num_buckets = 1024};
+  }
+  return {.total_keys = 1 << 12, .max_key = 1 << 8, .iterations = 3, .num_buckets = 64};
+}
+
+}  // namespace
+
+bool is_supports(int nprocs) { return std::has_single_bit(static_cast<unsigned>(nprocs)); }
+
+AppOutcome run_is(mpi::World& world, const AppConfig& cfg) {
+  const int p = world.nranks();
+  MPIPRED_REQUIRE(is_supports(p), "IS needs a power-of-two process count");
+  IsParams params = is_params(cfg.problem_class);
+  if (cfg.iterations_override > 0) {
+    params.iterations = cfg.iterations_override;
+  }
+  const std::int64_t keys_per_rank = params.total_keys / p;
+  const int nb = params.num_buckets;
+
+  std::vector<std::uint64_t> checksums(static_cast<std::size_t>(p), 0);
+  std::vector<std::int64_t> violations(static_cast<std::size_t>(p), 0);
+  std::vector<std::int64_t> key_totals(static_cast<std::size_t>(p), 0);
+
+  world.run([&](mpi::Communicator& comm) {
+    const int me = comm.rank();
+    constexpr int kTagBoundary = 500;
+
+    // Deterministic key generation — a fixed application seed, *not* the
+    // network seed, so key content is identical across noise settings.
+    sim::Rng rng(sim::derive_seed(0x15495349u, static_cast<std::uint64_t>(me)));
+    std::vector<std::int32_t> keys(static_cast<std::size_t>(keys_per_rank));
+    for (auto& k : keys) {
+      k = static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(params.max_key)));
+    }
+
+    const std::int32_t bucket_shift = [&] {
+      // max_key and num_buckets are powers of two; keys map to buckets by
+      // their high bits.
+      const auto mk = static_cast<unsigned>(params.max_key);
+      const auto b = static_cast<unsigned>(nb);
+      return static_cast<std::int32_t>(std::bit_width(mk / b) - 1);
+    }();
+
+    std::vector<std::int32_t> local_counts(static_cast<std::size_t>(nb));
+    std::vector<std::int32_t> global_counts(static_cast<std::size_t>(nb));
+    std::vector<std::int64_t> send_counts(static_cast<std::size_t>(p));
+    std::vector<std::int64_t> recv_counts(static_cast<std::size_t>(p));
+    std::vector<std::int32_t> send_keys;
+    std::vector<std::int32_t> recv_keys;
+    std::uint64_t csum = 0xcbf29ce484222325ULL;
+
+    for (int iter = 0; iter <= params.iterations; ++iter) {
+      // NPB perturbs two keys per iteration so each pass differs slightly.
+      keys[static_cast<std::size_t>(iter) % keys.size()] = iter;
+      keys[(static_cast<std::size_t>(iter) * 31) % keys.size()] = params.max_key - 1 - iter;
+
+      // Local histogram.
+      std::fill(local_counts.begin(), local_counts.end(), 0);
+      for (const auto k : keys) {
+        ++local_counts[static_cast<std::size_t>(k >> bucket_shift)];
+      }
+      comm.compute(sim::SimTime{static_cast<std::int64_t>(keys.size()) * 2});
+
+      // Global histogram.
+      mpi::allreduce_n<std::int32_t>(comm, local_counts, global_counts, mpi::ReduceOp::Sum);
+
+      // Partition buckets into p contiguous ranges of ~equal key volume.
+      std::vector<int> bucket_owner(static_cast<std::size_t>(nb));
+      {
+        const std::int64_t target = params.total_keys / p + 1;
+        std::int64_t acc = 0;
+        int owner = 0;
+        for (int b = 0; b < nb; ++b) {
+          bucket_owner[static_cast<std::size_t>(b)] = owner;
+          acc += global_counts[static_cast<std::size_t>(b)];
+          if (acc >= target && owner < p - 1) {
+            ++owner;
+            acc = 0;
+          }
+        }
+      }
+
+      // Sort keys by destination (bucket-major keeps it stable & cheap).
+      std::fill(send_counts.begin(), send_counts.end(), 0);
+      for (const auto k : keys) {
+        ++send_counts[static_cast<std::size_t>(
+            bucket_owner[static_cast<std::size_t>(k >> bucket_shift)])];
+      }
+      send_keys.resize(keys.size());
+      {
+        std::vector<std::int64_t> offsets(static_cast<std::size_t>(p), 0);
+        std::int64_t run = 0;
+        for (int r = 0; r < p; ++r) {
+          offsets[static_cast<std::size_t>(r)] = run;
+          run += send_counts[static_cast<std::size_t>(r)];
+        }
+        for (const auto k : keys) {
+          const int dst = bucket_owner[static_cast<std::size_t>(k >> bucket_shift)];
+          send_keys[static_cast<std::size_t>(offsets[static_cast<std::size_t>(dst)]++)] = k;
+        }
+      }
+
+      // Exchange counts, then keys.
+      mpi::alltoall_n<std::int64_t>(comm, send_counts, recv_counts);
+      std::int64_t total_recv = 0;
+      for (const auto c : recv_counts) {
+        total_recv += c;
+      }
+      recv_keys.resize(static_cast<std::size_t>(total_recv));
+      mpi::alltoallv_n<std::int32_t>(comm, send_keys, send_counts, recv_keys, recv_counts);
+
+      // Boundary check with the right neighbor: my max key must not exceed
+      // its min key (the per-iteration point-to-point message of Table 1).
+      std::int32_t my_min = params.max_key;
+      std::int32_t my_max = -1;
+      for (const auto k : recv_keys) {
+        my_min = std::min(my_min, k);
+        my_max = std::max(my_max, k);
+      }
+      if (me + 1 < p) {
+        mpi::send_value(comm, my_max, me + 1, kTagBoundary);
+      }
+      if (me > 0) {
+        const auto left_max = mpi::recv_value<std::int32_t>(comm, me - 1, kTagBoundary);
+        if (!recv_keys.empty() && left_max > my_min) {
+          ++violations[static_cast<std::size_t>(comm.world_rank())];
+        }
+      }
+      csum = mix(csum, static_cast<std::uint64_t>(total_recv));
+    }
+
+    // Full verification: sort the final partition, re-check the global
+    // order, count total keys.
+    std::sort(recv_keys.begin(), recv_keys.end());
+    comm.compute(sim::SimTime{static_cast<std::int64_t>(recv_keys.size()) * 6});
+    for (std::size_t i = 1; i < recv_keys.size(); ++i) {
+      if (recv_keys[i - 1] > recv_keys[i]) {
+        ++violations[static_cast<std::size_t>(comm.world_rank())];
+      }
+    }
+    key_totals[static_cast<std::size_t>(comm.world_rank())] =
+        static_cast<std::int64_t>(recv_keys.size());
+    checksums[static_cast<std::size_t>(comm.world_rank())] =
+        fnv1a(std::as_bytes(std::span<const std::int32_t>{recv_keys}), csum);
+  });
+
+  AppOutcome out;
+  out.name = "is";
+  out.nprocs = p;
+  out.iterations = params.iterations + 1;
+  out.rank_checksums = std::move(checksums);
+  std::int64_t total_violations = 0;
+  for (const auto v : violations) {
+    total_violations += v;
+  }
+  std::int64_t total_keys = 0;
+  for (const auto t : key_totals) {
+    total_keys += t;
+  }
+  out.metric = static_cast<double>(total_violations);
+  out.verified = (total_violations == 0) && (total_keys == params.total_keys);
+  return out;
+}
+
+}  // namespace mpipred::apps

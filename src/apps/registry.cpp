@@ -1,0 +1,40 @@
+#include "apps/registry.hpp"
+
+#include <array>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace mpipred::apps {
+
+namespace {
+
+const std::array<AppInfo, 5>& table() {
+  static const std::array<AppInfo, 5> apps = {{
+      {.name = "bt", .paper_proc_counts = {4, 9, 16, 25}, .supports = &bt_supports, .run = &run_bt},
+      {.name = "cg", .paper_proc_counts = {4, 8, 16, 32}, .supports = &cg_supports, .run = &run_cg},
+      {.name = "lu", .paper_proc_counts = {4, 8, 16, 32}, .supports = &lu_supports, .run = &run_lu},
+      {.name = "is", .paper_proc_counts = {4, 8, 16, 32}, .supports = &is_supports, .run = &run_is},
+      {.name = "sweep3d",
+       .paper_proc_counts = {6, 16, 32},
+       .supports = &sweep3d_supports,
+       .run = &run_sweep3d},
+  }};
+  return apps;
+}
+
+}  // namespace
+
+std::span<const AppInfo> all_apps() { return table(); }
+
+const AppInfo& find_app(std::string_view name) {
+  for (const AppInfo& info : table()) {
+    if (info.name == name) {
+      return info;
+    }
+  }
+  throw UsageError("unknown application '" + std::string(name) +
+                   "' (expected bt, cg, lu, is, or sweep3d)");
+}
+
+}  // namespace mpipred::apps

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "apps/app.hpp"
+
+namespace mpipred::apps {
+
+/// Descriptor connecting a kernel to the paper's experimental grid.
+struct AppInfo {
+  std::string_view name;
+  /// The process counts Table 1 / Figures 3-4 use for this application.
+  std::vector<int> paper_proc_counts;
+  bool (*supports)(int nprocs);
+  AppOutcome (*run)(mpi::World&, const AppConfig&);
+};
+
+/// All five kernels, in the paper's order (BT, CG, LU, IS, Sweep3D).
+[[nodiscard]] std::span<const AppInfo> all_apps();
+
+/// Lookup by name; throws UsageError for unknown names.
+[[nodiscard]] const AppInfo& find_app(std::string_view name);
+
+}  // namespace mpipred::apps

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace mpipred::detail {
+
+[[noreturn]] inline void throw_usage_error(std::string_view expr, std::string_view file, int line,
+                                           std::string_view msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw UsageError(os.str());
+}
+
+}  // namespace mpipred::detail
+
+/// Precondition check that throws mpipred::UsageError (never compiled out:
+/// these guard the public API, not internal invariants).
+#define MPIPRED_REQUIRE(expr, msg)                                           \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::mpipred::detail::throw_usage_error(#expr, __FILE__, __LINE__, msg);  \
+    }                                                                        \
+  } while (false)

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mpipred {
+
+/// Base class for all errors raised by the mpipred libraries.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Raised when the simulated machine can make no further progress while
+/// at least one rank is still blocked (classic message-passing deadlock).
+class DeadlockError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Raised on API misuse (bad rank, negative size, mismatched buffers, ...).
+class UsageError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace mpipred

@@ -1,0 +1,61 @@
+#include "core/accuracy.hpp"
+
+#include <span>
+
+#include "common/assert.hpp"
+
+namespace mpipred::core {
+
+AccuracyEvaluator::AccuracyEvaluator(Predictor& predictor, std::size_t horizon)
+    : predictor_(&predictor), horizon_(horizon) {
+  MPIPRED_REQUIRE(horizon >= 1, "horizon must be at least 1");
+  MPIPRED_REQUIRE(horizon <= predictor.max_horizon(),
+                  "predictor does not support the requested horizon");
+  report_.horizons.resize(horizon);
+  pending_.assign(horizon + 1, std::vector<Pending>(horizon));
+}
+
+void AccuracyEvaluator::observe(Predictor::Value v) {
+  // 1. Score the predictions that targeted this position.
+  auto& slot = pending_[static_cast<std::size_t>(position_) % (horizon_ + 1)];
+  for (std::size_t h = 1; h <= horizon_; ++h) {
+    Pending& p = slot[h - 1];
+    auto& acc = report_.horizons[h - 1];
+    if (!p.has) {
+      ++acc.unpredicted;
+    } else if (p.value == v) {
+      ++acc.hits;
+    } else {
+      ++acc.misses;
+    }
+    p.has = false;
+  }
+
+  // 2. Feed the sample.
+  predictor_->observe(v);
+  ++position_;
+
+  // 3. Snapshot the predictor's current view of the next H samples. The
+  // just-observed sample sits at stream index position_-1, so horizon h
+  // targets index position_-1+h.
+  for (std::size_t h = 1; h <= horizon_; ++h) {
+    const auto pred = predictor_->predict(h);
+    auto& target =
+        pending_[static_cast<std::size_t>(position_ - 1 + static_cast<std::int64_t>(h)) %
+                 (horizon_ + 1)][h - 1];
+    target.has = pred.has_value();
+    target.value = pred.value_or(0);
+  }
+}
+
+AccuracyReport evaluate_with(Predictor& predictor, std::span<const Predictor::Value> stream,
+                             std::size_t horizon) {
+  predictor.reset();
+  AccuracyEvaluator eval(predictor, horizon);
+  for (const auto v : stream) {
+    eval.observe(v);
+  }
+  return eval.report();
+}
+
+}  // namespace mpipred::core

@@ -1,0 +1,63 @@
+#include "core/baselines/cycle.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace mpipred::core {
+
+CyclePredictor::CyclePredictor(std::size_t horizon, std::size_t history)
+    : horizon_(horizon), history_(history) {
+  MPIPRED_REQUIRE(horizon >= 1, "horizon must be at least 1");
+  MPIPRED_REQUIRE(history >= 2, "history must hold at least two samples");
+  ring_.assign(history_, Value{0});
+}
+
+std::size_t CyclePredictor::buffered() const noexcept {
+  return std::min<std::size_t>(static_cast<std::size_t>(total_), history_);
+}
+
+Predictor::Value CyclePredictor::value_at_lag(std::size_t lag) const {
+  MPIPRED_REQUIRE(lag < buffered(), "lag exceeds buffered history");
+  return ring_[static_cast<std::size_t>((total_ - 1 - static_cast<std::int64_t>(lag)) %
+                                        static_cast<std::int64_t>(history_))];
+}
+
+void CyclePredictor::observe(Value v) {
+  const std::int64_t index = total_;
+  const auto it = last_seen_.find(v);
+  if (it != last_seen_.end()) {
+    const std::int64_t distance = index - it->second;
+    if (distance > 0 && static_cast<std::size_t>(distance) < history_) {
+      cycle_ = static_cast<std::size_t>(distance);
+    }
+    it->second = index;
+  } else {
+    last_seen_[v] = index;
+  }
+  ring_[static_cast<std::size_t>(index % static_cast<std::int64_t>(history_))] = v;
+  ++total_;
+}
+
+std::optional<Predictor::Value> CyclePredictor::predict(std::size_t h) const {
+  MPIPRED_REQUIRE(h >= 1 && h <= horizon_, "horizon out of range");
+  if (!cycle_) {
+    return std::nullopt;
+  }
+  const std::size_t m = *cycle_;
+  const std::size_t k = (h + m - 1) / m;
+  const std::size_t lag = k * m - h;
+  if (lag >= buffered()) {
+    return std::nullopt;
+  }
+  return value_at_lag(lag);
+}
+
+void CyclePredictor::reset() {
+  std::fill(ring_.begin(), ring_.end(), Value{0});
+  last_seen_.clear();
+  cycle_.reset();
+  total_ = 0;
+}
+
+}  // namespace mpipred::core

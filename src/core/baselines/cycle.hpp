@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/predictor.hpp"
+
+namespace mpipred::core {
+
+/// Cycle heuristic in the spirit of Afsahi & Dimopoulos' message-prediction
+/// heuristics [1, 2 in the paper]: assume the stream cycles, estimate the
+/// cycle length as the distance between the last two occurrences of the
+/// most recent value, and predict by replaying history one estimated cycle
+/// back. Unlike the DPD it commits to a hypothesis after a single
+/// recurrence, which makes it fast to warm up but brittle: any accidental
+/// recurrence (e.g. the same sender twice within one iteration) produces a
+/// wrong cycle estimate.
+class CyclePredictor final : public Predictor {
+ public:
+  explicit CyclePredictor(std::size_t horizon = 5, std::size_t history = 512);
+
+  void observe(Value v) override;
+  [[nodiscard]] std::optional<Value> predict(std::size_t h) const override;
+  [[nodiscard]] std::size_t max_horizon() const override { return horizon_; }
+  [[nodiscard]] std::string_view name() const override { return "cycle"; }
+  void reset() override;
+
+  /// Current cycle-length hypothesis (distance between the last two
+  /// occurrences of the most recent value), if one exists.
+  [[nodiscard]] std::optional<std::size_t> cycle() const noexcept { return cycle_; }
+
+ private:
+  std::size_t horizon_;
+  std::size_t history_;
+  std::vector<Value> ring_;
+  std::int64_t total_ = 0;
+  std::map<Value, std::int64_t> last_seen_;  // value -> last stream index
+  std::optional<std::size_t> cycle_;
+
+  [[nodiscard]] Value value_at_lag(std::size_t lag) const;
+  [[nodiscard]] std::size_t buffered() const noexcept;
+};
+
+}  // namespace mpipred::core

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <optional>
+
+#include "core/predictor.hpp"
+
+namespace mpipred::core {
+
+/// Simplest baseline: predict that every future sample repeats the last
+/// observed value. Strong on constant runs, blind to alternation.
+class LastValuePredictor final : public Predictor {
+ public:
+  explicit LastValuePredictor(std::size_t horizon = 5) : horizon_(horizon) {}
+
+  void observe(Value v) override {
+    last_ = v;
+    has_ = true;
+  }
+
+  [[nodiscard]] std::optional<Value> predict(std::size_t /*h*/) const override {
+    if (!has_) {
+      return std::nullopt;
+    }
+    return last_;
+  }
+
+  [[nodiscard]] std::size_t max_horizon() const override { return horizon_; }
+  [[nodiscard]] std::string_view name() const override { return "last-value"; }
+
+  void reset() override {
+    has_ = false;
+    last_ = 0;
+  }
+
+ private:
+  std::size_t horizon_;
+  Value last_ = 0;
+  bool has_ = false;
+};
+
+}  // namespace mpipred::core

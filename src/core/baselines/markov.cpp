@@ -1,0 +1,64 @@
+#include "core/baselines/markov.hpp"
+
+#include "common/assert.hpp"
+
+namespace mpipred::core {
+
+MarkovPredictor::MarkovPredictor(std::size_t order, std::size_t horizon)
+    : order_(order), horizon_(horizon), name_("markov-" + std::to_string(order)) {
+  MPIPRED_REQUIRE(order >= 1, "markov order must be at least 1");
+  MPIPRED_REQUIRE(horizon >= 1, "horizon must be at least 1");
+}
+
+void MarkovPredictor::observe(Value v) {
+  if (recent_.size() == order_) {
+    const Context ctx(recent_.begin(), recent_.end());
+    ++table_[ctx][v];
+  }
+  recent_.push_back(v);
+  if (recent_.size() > order_) {
+    recent_.pop_front();
+  }
+}
+
+std::optional<Predictor::Value> MarkovPredictor::most_frequent_after(const Context& ctx) const {
+  const auto it = table_.find(ctx);
+  if (it == table_.end() || it->second.empty()) {
+    return std::nullopt;
+  }
+  std::int64_t best_count = -1;
+  Value best_value = 0;
+  for (const auto& [value, count] : it->second) {
+    if (count > best_count) {  // first (smallest) value wins ties: map order
+      best_count = count;
+      best_value = value;
+    }
+  }
+  return best_value;
+}
+
+std::optional<Predictor::Value> MarkovPredictor::predict(std::size_t h) const {
+  MPIPRED_REQUIRE(h >= 1 && h <= horizon_, "horizon out of range");
+  if (recent_.size() < order_) {
+    return std::nullopt;
+  }
+  // Greedy rollout: repeatedly append the most likely successor.
+  Context ctx(recent_.begin(), recent_.end());
+  std::optional<Value> next;
+  for (std::size_t step = 0; step < h; ++step) {
+    next = most_frequent_after(ctx);
+    if (!next) {
+      return std::nullopt;
+    }
+    ctx.erase(ctx.begin());
+    ctx.push_back(*next);
+  }
+  return next;
+}
+
+void MarkovPredictor::reset() {
+  table_.clear();
+  recent_.clear();
+}
+
+}  // namespace mpipred::core

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/predictor.hpp"
+
+namespace mpipred::core {
+
+/// Frequency-based order-k Markov predictor — the statistical alternative
+/// the paper contrasts with in §4.2 ("predictions made by statistical
+/// models such as Markov models require more training time ... and are not
+/// prepared to predict several future values").
+///
+/// The transition table maps the last k observed values to a histogram of
+/// successors; prediction takes the most frequent successor (ties broken
+/// towards the smaller value, for determinism). Multi-step predictions
+/// chain greedily through the table, which is exactly the weakness the
+/// paper points out: errors compound with the horizon.
+class MarkovPredictor final : public Predictor {
+ public:
+  explicit MarkovPredictor(std::size_t order = 1, std::size_t horizon = 5);
+
+  void observe(Value v) override;
+  [[nodiscard]] std::optional<Value> predict(std::size_t h) const override;
+  [[nodiscard]] std::size_t max_horizon() const override { return horizon_; }
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  void reset() override;
+
+  [[nodiscard]] std::size_t order() const noexcept { return order_; }
+  /// Number of distinct contexts in the transition table.
+  [[nodiscard]] std::size_t table_size() const noexcept { return table_.size(); }
+
+ private:
+  using Context = std::vector<Value>;
+
+  [[nodiscard]] std::optional<Value> most_frequent_after(const Context& ctx) const;
+
+  std::size_t order_;
+  std::size_t horizon_;
+  std::string name_;
+  std::map<Context, std::map<Value, std::int64_t>> table_;
+  std::deque<Value> recent_;  // last `order_` samples
+};
+
+}  // namespace mpipred::core

@@ -1,0 +1,19 @@
+#include "core/evaluate.hpp"
+
+namespace mpipred::core {
+
+AccuracyReport evaluate_stream(std::span<const std::int64_t> stream,
+                               const StreamPredictorConfig& cfg) {
+  StreamPredictor predictor(cfg);
+  return evaluate_with(predictor, stream, cfg.horizon);
+}
+
+StreamEvaluation evaluate_streams(const trace::Streams& streams,
+                                  const StreamPredictorConfig& cfg) {
+  StreamEvaluation out;
+  out.senders = evaluate_stream(streams.senders, cfg);
+  out.sizes = evaluate_stream(streams.sizes, cfg);
+  return out;
+}
+
+}  // namespace mpipred::core

@@ -1,0 +1,25 @@
+#pragma once
+
+#include "core/accuracy.hpp"
+#include "core/stream_predictor.hpp"
+#include "trace/stream.hpp"
+
+namespace mpipred::core {
+
+/// Accuracy of the DPD predictor on both streams of one process, the unit
+/// plotted in Figures 3 and 4 (sender prediction / message size prediction,
+/// horizons +1 ... +5).
+struct StreamEvaluation {
+  AccuracyReport senders;
+  AccuracyReport sizes;
+};
+
+/// Evaluates both streams with a fresh DPD predictor each.
+[[nodiscard]] StreamEvaluation evaluate_streams(const trace::Streams& streams,
+                                                const StreamPredictorConfig& cfg = {});
+
+/// Evaluates a single value stream with a fresh DPD predictor.
+[[nodiscard]] AccuracyReport evaluate_stream(std::span<const std::int64_t> stream,
+                                             const StreamPredictorConfig& cfg = {});
+
+}  // namespace mpipred::core

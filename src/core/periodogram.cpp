@@ -1,0 +1,62 @@
+#include "core/periodogram.hpp"
+
+#include "common/assert.hpp"
+
+namespace mpipred::core {
+
+std::optional<std::size_t> Periodogram::fundamental_period() const {
+  for (std::size_t m = 1; m <= mismatch_fraction.size(); ++m) {
+    if (mismatch_fraction[m - 1] == 0.0) {
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> Periodogram::near_period(double tolerance) const {
+  MPIPRED_REQUIRE(tolerance >= 0.0 && tolerance < 1.0, "tolerance must be in [0, 1)");
+  for (std::size_t m = 1; m <= mismatch_fraction.size(); ++m) {
+    if (mismatch_fraction[m - 1] <= tolerance) {
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+int Periodogram::d(std::size_t m) const {
+  MPIPRED_REQUIRE(m >= 1 && m <= mismatch_fraction.size(), "delay out of range");
+  return mismatch_fraction[m - 1] == 0.0 ? 0 : 1;
+}
+
+Periodogram compute_periodogram(std::span<const std::int64_t> stream, std::size_t max_period) {
+  MPIPRED_REQUIRE(max_period >= 1, "max_period must be at least 1");
+  Periodogram out;
+  out.mismatch_fraction.assign(max_period, 1.0);
+  for (std::size_t m = 1; m <= max_period; ++m) {
+    if (stream.size() < m + 2) {
+      continue;  // not enough comparisons: stays at 1.0
+    }
+    std::size_t mismatches = 0;
+    const std::size_t comparisons = stream.size() - m;
+    for (std::size_t t = m; t < stream.size(); ++t) {
+      mismatches += (stream[t] != stream[t - m]) ? 1u : 0u;
+    }
+    out.mismatch_fraction[m - 1] =
+        static_cast<double>(mismatches) / static_cast<double>(comparisons);
+  }
+  return out;
+}
+
+double period_coverage(std::span<const std::int64_t> stream, std::size_t period) {
+  MPIPRED_REQUIRE(period >= 1, "period must be at least 1");
+  if (stream.size() <= period) {
+    return 0.0;
+  }
+  std::size_t matches = 0;
+  for (std::size_t t = period; t < stream.size(); ++t) {
+    matches += (stream[t] == stream[t - period]) ? 1u : 0u;
+  }
+  return static_cast<double>(matches) / static_cast<double>(stream.size() - period);
+}
+
+}  // namespace mpipred::core

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace mpipred::core {
+
+/// Offline periodicity analysis of a complete stream — the analysis view
+/// behind Figure 1. For each candidate delay m it computes the *mismatch
+/// fraction*: the fraction of positions where x[t] != x[t-m]. The paper's
+/// binary d(m) is `sign` of the same sum; the fraction additionally shows
+/// *near*-periodicity, which is what distinguishes a physical stream (a
+/// few random swaps) from an aperiodic one.
+struct Periodogram {
+  /// mismatch_fraction[m-1] for m in 1..max_period; 1.0 where fewer than
+  /// two comparable samples exist.
+  std::vector<double> mismatch_fraction;
+
+  /// Smallest m with an exact match (paper's d(m) == 0), if any.
+  std::optional<std::size_t> fundamental_period() const;
+
+  /// Smallest m whose mismatch fraction is <= tolerance (near-periodicity;
+  /// tolerance 0 reduces to fundamental_period).
+  std::optional<std::size_t> near_period(double tolerance) const;
+
+  /// The paper's d(m): 1 if any mismatch, 0 otherwise.
+  int d(std::size_t m) const;
+};
+
+/// Computes the periodogram of `stream` for delays 1..max_period.
+[[nodiscard]] Periodogram compute_periodogram(std::span<const std::int64_t> stream,
+                                              std::size_t max_period);
+
+/// Convenience: per-period segmentation check. Returns the fraction of
+/// positions where the stream equals its own value one `period` earlier —
+/// i.e. how well a single period explains the whole stream.
+[[nodiscard]] double period_coverage(std::span<const std::int64_t> stream, std::size_t period);
+
+}  // namespace mpipred::core

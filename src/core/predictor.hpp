@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace mpipred::core {
+
+/// Common interface for message-stream predictors, used by the evaluation
+/// harness and the baseline comparison (§6 of the paper). A predictor
+/// consumes one integer stream (sender ranks or message sizes) and, after
+/// each observation, can be asked for the value it expects `h` steps ahead.
+class Predictor {
+ public:
+  using Value = std::int64_t;
+
+  virtual ~Predictor() = default;
+
+  /// Feeds the next actual sample.
+  virtual void observe(Value v) = 0;
+
+  /// The prediction for the sample `h` steps after the last observed one
+  /// (h = 1 is "the next sample"), or nullopt if the predictor currently
+  /// has no basis for a prediction.
+  [[nodiscard]] virtual std::optional<Value> predict(std::size_t h) const = 0;
+
+  /// Longest horizon this predictor is willing to predict.
+  [[nodiscard]] virtual std::size_t max_horizon() const = 0;
+
+  /// Stable display name for reports.
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Forgets all history.
+  virtual void reset() = 0;
+};
+
+}  // namespace mpipred::core

@@ -1,0 +1,66 @@
+#include "core/set_prediction.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace mpipred::core {
+
+SetAccuracyReport evaluate_set_prediction(Predictor& predictor,
+                                          std::span<const Predictor::Value> stream,
+                                          std::size_t horizon) {
+  MPIPRED_REQUIRE(horizon >= 1, "horizon must be at least 1");
+  MPIPRED_REQUIRE(horizon <= predictor.max_horizon(),
+                  "predictor does not support the requested horizon");
+  predictor.reset();
+
+  SetAccuracyReport report;
+  if (stream.size() <= horizon) {
+    return report;
+  }
+
+  double overlap_sum = 0.0;
+  std::int64_t full_covers = 0;
+  const std::size_t last_scored = stream.size() - horizon;  // exclusive bound on t
+
+  for (std::size_t t = 0; t < stream.size(); ++t) {
+    predictor.observe(stream[t]);
+    if (t + 1 > last_scored) {
+      continue;  // not enough future left to score this position
+    }
+    // Multiset of actual next-H values.
+    std::map<Predictor::Value, int> actual;
+    for (std::size_t h = 1; h <= horizon; ++h) {
+      ++actual[stream[t + h]];
+    }
+    // Count predicted values against it (multiset intersection).
+    int matched = 0;
+    for (std::size_t h = 1; h <= horizon; ++h) {
+      const auto pred = predictor.predict(h);
+      if (!pred) {
+        continue;
+      }
+      const auto it = actual.find(*pred);
+      if (it != actual.end() && it->second > 0) {
+        --it->second;
+        ++matched;
+      }
+    }
+    overlap_sum += static_cast<double>(matched) / static_cast<double>(horizon);
+    if (static_cast<std::size_t>(matched) == horizon) {
+      ++full_covers;
+    }
+    ++report.positions;
+  }
+
+  if (report.positions > 0) {
+    report.mean_overlap = overlap_sum / static_cast<double>(report.positions);
+    report.full_cover_rate =
+        static_cast<double>(full_covers) / static_cast<double>(report.positions);
+  }
+  return report;
+}
+
+}  // namespace mpipred::core

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/predictor.hpp"
+
+namespace mpipred::core {
+
+/// Order-insensitive evaluation of §5.3: if predictions are used to
+/// pre-allocate buffers for the *set* of upcoming senders/sizes, the exact
+/// arrival order does not matter — only whether the next H values were
+/// anticipated. This metric scores the multiset overlap between the
+/// predicted next-H values and the actual next-H values at every stream
+/// position.
+struct SetAccuracyReport {
+  /// Mean over all scored positions of |predicted ∩ actual| / H
+  /// (multiset intersection). Positions with no prediction score 0.
+  double mean_overlap = 0.0;
+  /// Fraction of positions where the prediction covered the actual next-H
+  /// multiset completely.
+  double full_cover_rate = 0.0;
+  /// Positions scored (stream length minus the final H samples).
+  std::int64_t positions = 0;
+};
+
+/// Replays `stream` through `predictor` (reset first) and scores the
+/// predicted next-`horizon` multiset at every position against the actual
+/// continuation.
+[[nodiscard]] SetAccuracyReport evaluate_set_prediction(Predictor& predictor,
+                                                        std::span<const Predictor::Value> stream,
+                                                        std::size_t horizon);
+
+}  // namespace mpipred::core

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/dpd.hpp"
+#include "core/predictor.hpp"
+
+namespace mpipred::core {
+
+/// Configuration of the periodicity-based stream predictor.
+struct StreamPredictorConfig {
+  DpdConfig dpd{};
+  /// How many future values to predict (+1 ... +horizon; the paper uses 5).
+  std::size_t horizon = 5;
+  /// If true, fall back to repeating the last observed value while no
+  /// period is detected (off by default: the paper counts unpredicted
+  /// samples as misses, reproducing the warm-up effect of Figure 3).
+  bool last_value_fallback = false;
+};
+
+/// The paper's predictor (§4.2): detect the iterative pattern with the
+/// DPD, then read future values out of the previous period. Because the
+/// period is known, *several* future values come for free — the property
+/// that distinguishes this scheme from next-value heuristics.
+class StreamPredictor final : public Predictor {
+ public:
+  explicit StreamPredictor(StreamPredictorConfig cfg = {});
+
+  void observe(Value v) override;
+  [[nodiscard]] std::optional<Value> predict(std::size_t h) const override;
+  [[nodiscard]] std::size_t max_horizon() const override { return cfg_.horizon; }
+  [[nodiscard]] std::string_view name() const override { return "dpd"; }
+  void reset() override;
+
+  /// All horizons at once: index i holds the prediction for +.(i+1).
+  [[nodiscard]] std::vector<std::optional<Value>> predict_all() const;
+
+  /// Currently detected period, if any.
+  [[nodiscard]] std::optional<std::size_t> period() const { return detector_.period(); }
+
+  [[nodiscard]] const PeriodicityDetector& detector() const noexcept { return detector_; }
+  [[nodiscard]] const StreamPredictorConfig& config() const noexcept { return cfg_; }
+
+ private:
+  StreamPredictorConfig cfg_;
+  PeriodicityDetector detector_;
+};
+
+}  // namespace mpipred::core

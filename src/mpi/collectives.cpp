@@ -1,0 +1,431 @@
+#include <bit>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "mpi/communicator.hpp"
+#include "mpi/ops.hpp"
+
+// Collective algorithms, built from the internal tagged p2p primitives so
+// every constituent message is traced with OpKind::Collective and the
+// enclosing operation's Op label. Algorithm choices mirror the MPICH
+// generation the paper instrumented: binomial bcast/reduce, recursive
+// doubling allreduce (with non-power-of-two folding), ring allgather,
+// linear gather/scatter, fully posted pairwise alltoall(v), dissemination
+// barrier, linear scan.
+
+namespace mpipred::mpi {
+
+namespace {
+
+void copy_bytes(std::span<const std::byte> from, std::span<std::byte> to) {
+  MPIPRED_REQUIRE(from.size() == to.size(), "collective buffer size mismatch");
+  if (!from.empty()) {
+    std::memcpy(to.data(), from.data(), from.size());
+  }
+}
+
+[[nodiscard]] int log2_floor(int v) noexcept {
+  return static_cast<int>(std::bit_width(static_cast<unsigned>(v))) - 1;
+}
+
+}  // namespace
+
+void Communicator::barrier() {
+  MPIPRED_REQUIRE(!is_null(), "barrier on a null communicator");
+  ++coll_seq_;
+  const int p = size();
+  const trace::Op op = trace::Op::Barrier;
+  std::int32_t token = rank();
+  std::int32_t incoming = 0;
+  int step = 0;
+  for (int k = 1; k < p; k <<= 1, ++step) {
+    const int dst = (rank() + k) % p;
+    const int src = (rank() - k % p + p) % p;
+    Request rr = irecv_tagged(std::as_writable_bytes(std::span{&incoming, 1}), src,
+                              coll_tag(op, step), trace::OpKind::Collective, op);
+    Request sr = isend_tagged(std::as_bytes(std::span{&token, 1}), dst, coll_tag(op, step),
+                              trace::OpKind::Collective, op);
+    sr.wait();
+    rr.wait();
+  }
+}
+
+void Communicator::bcast(std::span<std::byte> data, int root) {
+  MPIPRED_REQUIRE(!is_null(), "bcast on a null communicator");
+  MPIPRED_REQUIRE(root >= 0 && root < size(), "bcast root out of range");
+  ++coll_seq_;
+  const int p = size();
+  if (p == 1) {
+    return;
+  }
+  const trace::Op op = trace::Op::Bcast;
+  const int rel = (rank() - root + p) % p;
+
+  // Receive phase: wait for the parent in the binomial tree.
+  int mask = 1;
+  while (mask < p) {
+    if (rel & mask) {
+      const int src = (rel - mask + root) % p;
+      Request rr = irecv_tagged(data, src, coll_tag(op, log2_floor(mask)),
+                                trace::OpKind::Collective, op);
+      rr.wait();
+      break;
+    }
+    mask <<= 1;
+  }
+  // Send phase: forward to children in decreasing mask order.
+  mask >>= 1;
+  while (mask > 0) {
+    if (rel + mask < p) {
+      const int dst = (rel + mask + root) % p;
+      Request sr = isend_tagged(data, dst, coll_tag(op, log2_floor(mask)),
+                                trace::OpKind::Collective, op);
+      sr.wait();
+    }
+    mask >>= 1;
+  }
+}
+
+void Communicator::reduce(std::span<const std::byte> in, std::span<std::byte> out, Datatype dtype,
+                          ReduceOp rop, int root) {
+  MPIPRED_REQUIRE(!is_null(), "reduce on a null communicator");
+  MPIPRED_REQUIRE(root >= 0 && root < size(), "reduce root out of range");
+  MPIPRED_REQUIRE(rank() != root || out.size() == in.size(),
+                  "reduce output must match input size at root");
+  ++coll_seq_;
+  const int p = size();
+  const trace::Op op = trace::Op::Reduce;
+  const int rel = (rank() - root + p) % p;
+
+  std::vector<std::byte> acc(in.begin(), in.end());
+  std::vector<std::byte> tmp(in.size());
+
+  int mask = 1;
+  int step = 0;
+  while (mask < p) {
+    if ((rel & mask) == 0) {
+      const int partner_rel = rel | mask;
+      if (partner_rel < p) {
+        const int src = (partner_rel + root) % p;
+        Request rr = irecv_tagged(tmp, src, coll_tag(op, step), trace::OpKind::Collective, op);
+        rr.wait();
+        reduce_combine(dtype, rop, tmp, acc);
+      }
+    } else {
+      const int dst = ((rel ^ mask) + root) % p;
+      Request sr = isend_tagged(acc, dst, coll_tag(op, step), trace::OpKind::Collective, op);
+      sr.wait();
+      break;
+    }
+    mask <<= 1;
+    ++step;
+  }
+  if (rank() == root) {
+    copy_bytes(acc, out);
+  }
+}
+
+void Communicator::allreduce(std::span<const std::byte> in, std::span<std::byte> out,
+                             Datatype dtype, ReduceOp rop) {
+  MPIPRED_REQUIRE(!is_null(), "allreduce on a null communicator");
+  MPIPRED_REQUIRE(out.size() == in.size(), "allreduce output must match input size");
+  ++coll_seq_;
+  const int p = size();
+  const trace::Op op = trace::Op::Allreduce;
+
+  std::vector<std::byte> acc(in.begin(), in.end());
+  if (p == 1) {
+    copy_bytes(acc, out);
+    return;
+  }
+  std::vector<std::byte> tmp(in.size());
+
+  // MPICH-style non-power-of-two folding: the first 2*rem ranks pair up so
+  // a power-of-two core performs recursive doubling.
+  int pof2 = 1;
+  while (pof2 * 2 <= p) {
+    pof2 *= 2;
+  }
+  const int rem = p - pof2;
+  const int fold_steps = log2_floor(pof2);
+  int newrank;
+  if (rank() < 2 * rem) {
+    if (rank() % 2 == 0) {
+      Request sr = isend_tagged(acc, rank() + 1, coll_tag(op, 0), trace::OpKind::Collective, op);
+      sr.wait();
+      newrank = -1;
+    } else {
+      Request rr = irecv_tagged(tmp, rank() - 1, coll_tag(op, 0), trace::OpKind::Collective, op);
+      rr.wait();
+      reduce_combine(dtype, rop, tmp, acc);
+      newrank = rank() / 2;
+    }
+  } else {
+    newrank = rank() - rem;
+  }
+
+  if (newrank != -1) {
+    int step = 1;
+    for (int mask = 1; mask < pof2; mask <<= 1, ++step) {
+      const int partner_new = newrank ^ mask;
+      const int partner = (partner_new < rem) ? partner_new * 2 + 1 : partner_new + rem;
+      Request rr = irecv_tagged(tmp, partner, coll_tag(op, step), trace::OpKind::Collective, op);
+      Request sr = isend_tagged(acc, partner, coll_tag(op, step), trace::OpKind::Collective, op);
+      sr.wait();
+      rr.wait();
+      reduce_combine(dtype, rop, tmp, acc);
+    }
+  }
+
+  // Hand results back to the folded-away even ranks.
+  if (rank() < 2 * rem) {
+    if (rank() % 2 == 0) {
+      Request rr = irecv_tagged(acc, rank() + 1, coll_tag(op, fold_steps + 1),
+                                trace::OpKind::Collective, op);
+      rr.wait();
+    } else {
+      Request sr = isend_tagged(acc, rank() - 1, coll_tag(op, fold_steps + 1),
+                                trace::OpKind::Collective, op);
+      sr.wait();
+    }
+  }
+  copy_bytes(acc, out);
+}
+
+void Communicator::gather(std::span<const std::byte> in, std::span<std::byte> out, int root) {
+  MPIPRED_REQUIRE(!is_null(), "gather on a null communicator");
+  MPIPRED_REQUIRE(root >= 0 && root < size(), "gather root out of range");
+  ++coll_seq_;
+  const int p = size();
+  const std::size_t block = in.size();
+  const trace::Op op = trace::Op::Gather;
+
+  if (rank() == root) {
+    MPIPRED_REQUIRE(out.size() == block * static_cast<std::size_t>(p),
+                    "gather output must hold size() blocks");
+    copy_bytes(in, out.subspan(static_cast<std::size_t>(root) * block, block));
+    std::vector<Request> reqs;
+    reqs.reserve(static_cast<std::size_t>(p - 1));
+    for (int r = 0; r < p; ++r) {
+      if (r == root) {
+        continue;
+      }
+      reqs.push_back(irecv_tagged(out.subspan(static_cast<std::size_t>(r) * block, block), r,
+                                  coll_tag(op, 0), trace::OpKind::Collective, op));
+    }
+    Request::wait_all(reqs);
+  } else {
+    Request sr = isend_tagged(in, root, coll_tag(op, 0), trace::OpKind::Collective, op);
+    sr.wait();
+  }
+}
+
+void Communicator::allgather(std::span<const std::byte> in, std::span<std::byte> out) {
+  MPIPRED_REQUIRE(!is_null(), "allgather on a null communicator");
+  ++coll_seq_;
+  const int p = size();
+  const std::size_t block = in.size();
+  MPIPRED_REQUIRE(out.size() == block * static_cast<std::size_t>(p),
+                  "allgather output must hold size() blocks");
+  const trace::Op op = trace::Op::Allgather;
+
+  copy_bytes(in, out.subspan(static_cast<std::size_t>(rank()) * block, block));
+  if (p == 1) {
+    return;
+  }
+  const int right = (rank() + 1) % p;
+  const int left = (rank() - 1 + p) % p;
+  for (int i = 0; i < p - 1; ++i) {
+    const int send_idx = (rank() - i + p) % p;
+    const int recv_idx = (rank() - i - 1 + p) % p;
+    Request rr = irecv_tagged(out.subspan(static_cast<std::size_t>(recv_idx) * block, block), left,
+                              coll_tag(op, i), trace::OpKind::Collective, op);
+    Request sr = isend_tagged(out.subspan(static_cast<std::size_t>(send_idx) * block, block),
+                              right, coll_tag(op, i), trace::OpKind::Collective, op);
+    sr.wait();
+    rr.wait();
+  }
+}
+
+void Communicator::scatter(std::span<const std::byte> in, std::span<std::byte> out, int root) {
+  MPIPRED_REQUIRE(!is_null(), "scatter on a null communicator");
+  MPIPRED_REQUIRE(root >= 0 && root < size(), "scatter root out of range");
+  ++coll_seq_;
+  const int p = size();
+  const std::size_t block = out.size();
+  const trace::Op op = trace::Op::Scatter;
+
+  if (rank() == root) {
+    MPIPRED_REQUIRE(in.size() == block * static_cast<std::size_t>(p),
+                    "scatter input must hold size() blocks");
+    std::vector<Request> reqs;
+    reqs.reserve(static_cast<std::size_t>(p - 1));
+    for (int r = 0; r < p; ++r) {
+      if (r == root) {
+        copy_bytes(in.subspan(static_cast<std::size_t>(r) * block, block), out);
+        continue;
+      }
+      reqs.push_back(isend_tagged(in.subspan(static_cast<std::size_t>(r) * block, block), r,
+                                  coll_tag(op, 0), trace::OpKind::Collective, op));
+    }
+    Request::wait_all(reqs);
+  } else {
+    Request rr = irecv_tagged(out, root, coll_tag(op, 0), trace::OpKind::Collective, op);
+    rr.wait();
+  }
+}
+
+void Communicator::alltoall(std::span<const std::byte> in, std::span<std::byte> out) {
+  MPIPRED_REQUIRE(!is_null(), "alltoall on a null communicator");
+  MPIPRED_REQUIRE(in.size() == out.size(), "alltoall buffers must match");
+  ++coll_seq_;
+  const int p = size();
+  MPIPRED_REQUIRE(in.size() % static_cast<std::size_t>(p) == 0,
+                  "alltoall buffer must be divisible into size() blocks");
+  const std::size_t block = in.size() / static_cast<std::size_t>(p);
+  const trace::Op op = trace::Op::Alltoall;
+
+  copy_bytes(in.subspan(static_cast<std::size_t>(rank()) * block, block),
+             out.subspan(static_cast<std::size_t>(rank()) * block, block));
+
+  // Fully posted pairwise exchange: all receives first (deterministic
+  // posting order), then all sends, then wait. Arrivals race freely, which
+  // is exactly the physical-level randomness the paper sees for IS.
+  std::vector<Request> reqs;
+  reqs.reserve(2 * static_cast<std::size_t>(p - 1));
+  for (int i = 1; i < p; ++i) {
+    const int src = (rank() - i + p) % p;
+    reqs.push_back(irecv_tagged(out.subspan(static_cast<std::size_t>(src) * block, block), src,
+                                coll_tag(op, 0), trace::OpKind::Collective, op));
+  }
+  for (int i = 1; i < p; ++i) {
+    const int dst = (rank() + i) % p;
+    reqs.push_back(isend_tagged(in.subspan(static_cast<std::size_t>(dst) * block, block), dst,
+                                coll_tag(op, 0), trace::OpKind::Collective, op));
+  }
+  Request::wait_all(reqs);
+}
+
+void Communicator::alltoallv(std::span<const std::byte> in,
+                             std::span<const std::int64_t> send_counts, std::span<std::byte> out,
+                             std::span<const std::int64_t> recv_counts) {
+  MPIPRED_REQUIRE(!is_null(), "alltoallv on a null communicator");
+  const int p = size();
+  MPIPRED_REQUIRE(send_counts.size() == static_cast<std::size_t>(p), "send_counts size mismatch");
+  MPIPRED_REQUIRE(recv_counts.size() == static_cast<std::size_t>(p), "recv_counts size mismatch");
+  ++coll_seq_;
+  const trace::Op op = trace::Op::Alltoallv;
+
+  std::vector<std::size_t> sdispl(static_cast<std::size_t>(p) + 1, 0);
+  std::vector<std::size_t> rdispl(static_cast<std::size_t>(p) + 1, 0);
+  for (int r = 0; r < p; ++r) {
+    MPIPRED_REQUIRE(send_counts[static_cast<std::size_t>(r)] >= 0, "negative send count");
+    MPIPRED_REQUIRE(recv_counts[static_cast<std::size_t>(r)] >= 0, "negative recv count");
+    sdispl[static_cast<std::size_t>(r) + 1] =
+        sdispl[static_cast<std::size_t>(r)] +
+        static_cast<std::size_t>(send_counts[static_cast<std::size_t>(r)]);
+    rdispl[static_cast<std::size_t>(r) + 1] =
+        rdispl[static_cast<std::size_t>(r)] +
+        static_cast<std::size_t>(recv_counts[static_cast<std::size_t>(r)]);
+  }
+  MPIPRED_REQUIRE(in.size() >= sdispl.back(), "alltoallv input too small");
+  MPIPRED_REQUIRE(out.size() >= rdispl.back(), "alltoallv output too small");
+
+  const auto me = static_cast<std::size_t>(rank());
+  MPIPRED_REQUIRE(send_counts[me] == recv_counts[me], "self block size mismatch");
+  copy_bytes(in.subspan(sdispl[me], static_cast<std::size_t>(send_counts[me])),
+             out.subspan(rdispl[me], static_cast<std::size_t>(recv_counts[me])));
+
+  std::vector<Request> reqs;
+  reqs.reserve(2 * static_cast<std::size_t>(p - 1));
+  for (int i = 1; i < p; ++i) {
+    const auto src = static_cast<std::size_t>((rank() - i + p) % p);
+    reqs.push_back(irecv_tagged(
+        out.subspan(rdispl[src], static_cast<std::size_t>(recv_counts[src])), static_cast<int>(src),
+        coll_tag(op, 0), trace::OpKind::Collective, op));
+  }
+  for (int i = 1; i < p; ++i) {
+    const auto dst = static_cast<std::size_t>((rank() + i) % p);
+    reqs.push_back(isend_tagged(
+        in.subspan(sdispl[dst], static_cast<std::size_t>(send_counts[dst])), static_cast<int>(dst),
+        coll_tag(op, 0), trace::OpKind::Collective, op));
+  }
+  Request::wait_all(reqs);
+}
+
+void Communicator::reduce_scatter_block(std::span<const std::byte> in, std::span<std::byte> out,
+                                        Datatype dtype, ReduceOp rop) {
+  MPIPRED_REQUIRE(!is_null(), "reduce_scatter_block on a null communicator");
+  const int p = size();
+  MPIPRED_REQUIRE(in.size() == out.size() * static_cast<std::size_t>(p),
+                  "reduce_scatter_block input must hold size() blocks");
+  ++coll_seq_;
+  const trace::Op op = trace::Op::ReduceScatter;
+  const std::size_t block = out.size();
+
+  // Reduce everything onto local rank 0, then scatter the blocks: simple,
+  // deterministic, and every message carries the ReduceScatter label.
+  const int root = 0;
+  const int rel = rank();  // root is 0, so relative == local
+  std::vector<std::byte> acc(in.begin(), in.end());
+  std::vector<std::byte> tmp(in.size());
+  int mask = 1;
+  int step = 0;
+  while (mask < p) {
+    if ((rel & mask) == 0) {
+      const int partner = rel | mask;
+      if (partner < p) {
+        Request rr = irecv_tagged(tmp, partner, coll_tag(op, step), trace::OpKind::Collective, op);
+        rr.wait();
+        reduce_combine(dtype, rop, tmp, acc);
+      }
+    } else {
+      Request sr =
+          isend_tagged(acc, rel ^ mask, coll_tag(op, step), trace::OpKind::Collective, op);
+      sr.wait();
+      break;
+    }
+    mask <<= 1;
+    ++step;
+  }
+
+  // Scatter phase (steps offset to stay distinct from the reduce phase).
+  if (rank() == root) {
+    std::vector<Request> reqs;
+    for (int r = 1; r < p; ++r) {
+      reqs.push_back(isend_tagged(
+          std::span<const std::byte>(acc).subspan(static_cast<std::size_t>(r) * block, block), r,
+          coll_tag(op, 64), trace::OpKind::Collective, op));
+    }
+    copy_bytes(std::span<const std::byte>(acc).subspan(0, block), out);
+    Request::wait_all(reqs);
+  } else {
+    Request rr = irecv_tagged(out, root, coll_tag(op, 64), trace::OpKind::Collective, op);
+    rr.wait();
+  }
+}
+
+void Communicator::scan(std::span<const std::byte> in, std::span<std::byte> out, Datatype dtype,
+                        ReduceOp rop) {
+  MPIPRED_REQUIRE(!is_null(), "scan on a null communicator");
+  MPIPRED_REQUIRE(out.size() == in.size(), "scan output must match input size");
+  ++coll_seq_;
+  const trace::Op op = trace::Op::Scan;
+
+  std::vector<std::byte> acc(in.begin(), in.end());
+  if (rank() > 0) {
+    std::vector<std::byte> prefix(in.size());
+    Request rr = irecv_tagged(prefix, rank() - 1, coll_tag(op, 0), trace::OpKind::Collective, op);
+    rr.wait();
+    reduce_combine(dtype, rop, prefix, acc);
+  }
+  if (rank() < size() - 1) {
+    Request sr = isend_tagged(acc, rank() + 1, coll_tag(op, 0), trace::OpKind::Collective, op);
+    sr.wait();
+  }
+  copy_bytes(acc, out);
+}
+
+}  // namespace mpipred::mpi

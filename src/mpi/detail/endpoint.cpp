@@ -1,0 +1,315 @@
+#include "mpi/detail/endpoint.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+#include "mpi/world.hpp"
+
+namespace mpipred::mpi::detail {
+
+Endpoint::Endpoint(World& world, int rank) : world_(&world), rank_(rank) {
+  credit_used_.assign(static_cast<std::size_t>(world.nranks()), 0);
+  send_queue_.resize(static_cast<std::size_t>(world.nranks()));
+}
+
+void Endpoint::wake_owner() { world_->engine().rank(rank_).unblock(); }
+
+bool Endpoint::matches(const RecvState& recv, const Arrival& arrival) noexcept {
+  if (recv.comm_id != arrival.comm_id) {
+    return false;
+  }
+  if (recv.src_filter != kAnySource && recv.src_filter != arrival.src) {
+    return false;
+  }
+  if (recv.tag_filter == kAnyTag) {
+    // The wildcard only matches user-level tags; internal (collective)
+    // traffic uses negative tags, emulating MPI's separate context.
+    return arrival.tag >= 0;
+  }
+  return recv.tag_filter == arrival.tag;
+}
+
+void Endpoint::record_logical_post(RecvState& recv) {
+  if (!world_->config().record_logical) {
+    return;
+  }
+  trace::Record rec;
+  rec.time = world_->engine().now();
+  rec.sender = (recv.src_filter == kAnySource) ? trace::kUnresolvedSender
+                                               : static_cast<std::int32_t>(recv.src_filter);
+  rec.bytes = static_cast<std::int64_t>(recv.buffer.size());
+  rec.kind = recv.kind;
+  rec.op = recv.op;
+  recv.logical_index = world_->traces().append(rank_, trace::Level::Logical, rec);
+  recv.logical_recorded = true;
+}
+
+void Endpoint::resolve_logical(const RecvState& recv, int sender, std::int64_t bytes) {
+  if (recv.logical_recorded) {
+    world_->traces().resolve(rank_, trace::Level::Logical, recv.logical_index,
+                             static_cast<std::int32_t>(sender), bytes);
+  }
+}
+
+void Endpoint::record_physical(int sender, std::int64_t bytes, trace::OpKind kind, trace::Op op) {
+  if (!world_->config().record_physical) {
+    return;
+  }
+  trace::Record rec;
+  rec.time = world_->engine().now();
+  rec.sender = static_cast<std::int32_t>(sender);
+  rec.bytes = bytes;
+  rec.kind = kind;
+  rec.op = op;
+  world_->traces().append(rank_, trace::Level::Physical, rec);
+}
+
+std::shared_ptr<SendState> Endpoint::post_send(std::span<const std::byte> data, int dst, int tag,
+                                               std::uint32_t comm_id, trace::OpKind kind,
+                                               trace::Op op) {
+  MPIPRED_REQUIRE(dst >= 0 && dst < world_->nranks(), "send destination out of range");
+  ++counters_.sends_posted;
+
+  auto send = std::make_shared<SendState>();
+  send->src = rank_;
+  send->dst = dst;
+  send->tag = tag;
+  send->comm_id = comm_id;
+  send->bytes = static_cast<std::int64_t>(data.size());
+  send->payload = std::make_shared<std::vector<std::byte>>(data.begin(), data.end());
+  send->kind = kind;
+  send->op = op;
+  send->rendezvous = send->bytes > world_->config().eager_threshold_bytes;
+
+  sim::Engine& eng = world_->engine();
+  sim::Network& net = eng.network();
+  const std::int64_t header = world_->config().header_bytes;
+
+  if (!send->rendezvous) {
+    // Eager, subject to §2.1 per-pair flow control: the message may only
+    // fly while the receiver's pre-allocated per-peer buffer has room for
+    // it; otherwise it queues behind earlier messages to the same peer.
+    const std::int64_t credit = world_->config().per_pair_credit_bytes;
+    const auto d = static_cast<std::size_t>(dst);
+    const bool fits = credit <= 0 || credit_used_[d] == 0 || credit_used_[d] + send->bytes <= credit;
+    if (fits && send_queue_[d].empty()) {
+      launch_eager(send);
+    } else {
+      ++counters_.eager_credit_stalls;
+      send_queue_[d].push_back(send);
+    }
+    return send;
+  }
+
+  // Rendezvous: announce with an RTS; the payload moves only after the
+  // receiver grants a CTS (see grant_cts / on_data).
+  const auto timing = net.plan_transfer(rank_, dst, world_->config().control_bytes, eng.now());
+  Endpoint& dst_ep = world_->endpoint(dst);
+  eng.schedule(timing.delivery, [&dst_ep, send] {
+    Arrival arrival;
+    arrival.type = Arrival::Type::Rts;
+    arrival.src = send->src;
+    arrival.tag = send->tag;
+    arrival.comm_id = send->comm_id;
+    arrival.bytes = send->bytes;
+    arrival.kind = send->kind;
+    arrival.op = send->op;
+    arrival.send = send;
+    dst_ep.on_rts(arrival);
+  });
+  return send;
+}
+
+void Endpoint::launch_eager(const std::shared_ptr<SendState>& send) {
+  sim::Engine& eng = world_->engine();
+  const std::int64_t header = world_->config().header_bytes;
+  if (world_->config().per_pair_credit_bytes > 0) {
+    credit_used_[static_cast<std::size_t>(send->dst)] += send->bytes;
+  }
+  const auto timing =
+      eng.network().plan_transfer(rank_, send->dst, send->bytes + header, eng.now());
+  Endpoint& dst_ep = world_->endpoint(send->dst);
+  eng.schedule(timing.delivery, [&dst_ep, send] {
+    Arrival arrival;
+    arrival.type = Arrival::Type::Eager;
+    arrival.src = send->src;
+    arrival.tag = send->tag;
+    arrival.comm_id = send->comm_id;
+    arrival.bytes = send->bytes;
+    arrival.kind = send->kind;
+    arrival.op = send->op;
+    arrival.payload = send->payload;
+    dst_ep.on_eager(arrival);
+  });
+  eng.schedule(timing.sender_free, [this, send] {
+    send->complete = true;
+    wake_owner();
+  });
+}
+
+void Endpoint::release_credit(int dst, std::int64_t bytes) {
+  if (world_->config().per_pair_credit_bytes <= 0) {
+    return;
+  }
+  auto& used = credit_used_[static_cast<std::size_t>(dst)];
+  used -= std::min(used, bytes);
+  auto& queue = send_queue_[static_cast<std::size_t>(dst)];
+  const std::int64_t credit = world_->config().per_pair_credit_bytes;
+  while (!queue.empty() &&
+         (used == 0 || used + queue.front()->bytes <= credit)) {
+    auto next = queue.front();
+    queue.pop_front();
+    launch_eager(next);
+  }
+}
+
+std::shared_ptr<RecvState> Endpoint::post_recv(std::span<std::byte> buffer, int src, int tag,
+                                               std::uint32_t comm_id, trace::OpKind kind,
+                                               trace::Op op) {
+  MPIPRED_REQUIRE(src == kAnySource || (src >= 0 && src < world_->nranks()),
+                  "receive source out of range");
+  ++counters_.recvs_posted;
+
+  auto recv = std::make_shared<RecvState>();
+  recv->receiver = rank_;
+  recv->src_filter = src;
+  recv->tag_filter = tag;
+  recv->comm_id = comm_id;
+  recv->buffer = buffer;
+  recv->kind = kind;
+  recv->op = op;
+
+  record_logical_post(*recv);
+
+  // First look at messages that already arrived, in arrival order.
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (!matches(*recv, *it)) {
+      continue;
+    }
+    Arrival arrival = std::move(*it);
+    counters_.unexpected_bytes_now -=
+        (arrival.type == Arrival::Type::Eager) ? arrival.bytes : world_->config().control_bytes;
+    unexpected_.erase(it);
+    if (arrival.type == Arrival::Type::Eager) {
+      deliver_eager_to(recv, arrival);
+    } else {
+      recv->matched = true;
+      resolve_logical(*recv, arrival.src, arrival.bytes);
+      grant_cts(arrival.send, recv);
+    }
+    return recv;
+  }
+
+  posted_.push_back(recv);
+  return recv;
+}
+
+std::shared_ptr<RecvState> Endpoint::take_posted_match(const Arrival& arrival) {
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    if (matches(**it, arrival)) {
+      std::shared_ptr<RecvState> recv = *it;
+      posted_.erase(it);
+      return recv;
+    }
+  }
+  return nullptr;
+}
+
+void Endpoint::deliver_eager_to(const std::shared_ptr<RecvState>& recv, const Arrival& arrival) {
+  if (static_cast<std::int64_t>(recv->buffer.size()) < arrival.bytes) {
+    std::ostringstream os;
+    os << "message truncation: rank " << rank_ << " posted a " << recv->buffer.size()
+       << "-byte buffer for a " << arrival.bytes << "-byte message from rank " << arrival.src
+       << " (tag " << arrival.tag << ")";
+    throw UsageError(os.str());
+  }
+  if (arrival.bytes > 0) {
+    std::memcpy(recv->buffer.data(), arrival.payload->data(),
+                static_cast<std::size_t>(arrival.bytes));
+  }
+  recv->matched = true;
+  recv->complete = true;
+  recv->status = Status{arrival.src, arrival.tag, arrival.bytes};
+  resolve_logical(*recv, arrival.src, arrival.bytes);
+  // The receiver's per-peer buffer slot is free again: return the credit
+  // to the sender (event-scheduled: this may run in either context).
+  Endpoint& src_ep = world_->endpoint(arrival.src);
+  const std::int64_t freed = arrival.bytes;
+  const int me = rank_;
+  world_->engine().schedule(world_->engine().now(),
+                            [&src_ep, me, freed] { src_ep.release_credit(me, freed); });
+  wake_owner();
+}
+
+void Endpoint::grant_cts(const std::shared_ptr<SendState>& send,
+                         const std::shared_ptr<RecvState>& recv) {
+  // CTS travels receiver -> sender; once it lands, the payload is planned
+  // from that moment (both legs consume real NIC/wire resources).
+  sim::Engine& eng = world_->engine();
+  const auto cts = eng.network().plan_transfer(rank_, send->src, world_->config().control_bytes,
+                                               eng.now());
+  eng.schedule(cts.delivery, [this, send, recv] {
+    sim::Engine& e = world_->engine();
+    const std::int64_t header = world_->config().header_bytes;
+    const auto data = e.network().plan_transfer(send->src, send->dst, send->bytes + header,
+                                                e.now());
+    Endpoint& dst_ep = world_->endpoint(send->dst);
+    e.schedule(data.delivery, [&dst_ep, send, recv] { dst_ep.on_data(send, recv); });
+    e.schedule(data.sender_free, [this2 = &world_->endpoint(send->src), send] {
+      send->complete = true;
+      this2->wake_owner();
+    });
+  });
+}
+
+void Endpoint::on_eager(const Arrival& arrival) {
+  ++counters_.eager_received;
+  record_physical(arrival.src, arrival.bytes, arrival.kind, arrival.op);
+  if (auto recv = take_posted_match(arrival)) {
+    deliver_eager_to(recv, arrival);
+    return;
+  }
+  ++counters_.unexpected_arrivals;
+  counters_.unexpected_bytes_now += arrival.bytes;
+  counters_.unexpected_bytes_peak =
+      std::max(counters_.unexpected_bytes_peak, counters_.unexpected_bytes_now);
+  unexpected_.push_back(arrival);
+}
+
+void Endpoint::on_rts(const Arrival& arrival) {
+  if (auto recv = take_posted_match(arrival)) {
+    recv->matched = true;
+    resolve_logical(*recv, arrival.src, arrival.bytes);
+    grant_cts(arrival.send, recv);
+    return;
+  }
+  ++counters_.unexpected_arrivals;
+  counters_.unexpected_bytes_now += world_->config().control_bytes;
+  counters_.unexpected_bytes_peak =
+      std::max(counters_.unexpected_bytes_peak, counters_.unexpected_bytes_now);
+  unexpected_.push_back(arrival);
+}
+
+void Endpoint::on_data(const std::shared_ptr<SendState>& send,
+                       const std::shared_ptr<RecvState>& recv) {
+  ++counters_.rendezvous_received;
+  record_physical(send->src, send->bytes, send->kind, send->op);
+  if (static_cast<std::int64_t>(recv->buffer.size()) < send->bytes) {
+    std::ostringstream os;
+    os << "message truncation: rank " << rank_ << " posted a " << recv->buffer.size()
+       << "-byte buffer for a " << send->bytes << "-byte rendezvous message from rank "
+       << send->src;
+    throw UsageError(os.str());
+  }
+  if (send->bytes > 0) {
+    std::memcpy(recv->buffer.data(), send->payload->data(), static_cast<std::size_t>(send->bytes));
+  }
+  recv->complete = true;
+  recv->status = Status{send->src, send->tag, send->bytes};
+  wake_owner();
+}
+
+}  // namespace mpipred::mpi::detail

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <span>
+
+#include "mpi/detail/state.hpp"
+#include "mpi/types.hpp"
+#include "sim/engine.hpp"
+#include "trace/store.hpp"
+
+namespace mpipred::mpi {
+class World;
+}  // namespace mpipred::mpi
+
+namespace mpipred::mpi::detail {
+
+/// Per-endpoint traffic counters. `unexpected_bytes_peak` is the §2.2
+/// quantity: how much receiver memory uncontrolled eager sends can pin.
+struct EndpointCounters {
+  std::int64_t eager_received = 0;
+  std::int64_t rendezvous_received = 0;
+  std::int64_t unexpected_arrivals = 0;
+  std::int64_t unexpected_bytes_now = 0;
+  std::int64_t unexpected_bytes_peak = 0;
+  std::int64_t sends_posted = 0;
+  std::int64_t recvs_posted = 0;
+  /// Eager sends that had to queue for per-pair credit (§2.1 throttling).
+  std::int64_t eager_credit_stalls = 0;
+};
+
+/// The per-rank bottom half of the MPI library: tag matching, the
+/// eager/rendezvous protocol, and both trace hooks. Post operations are
+/// called from the owning rank's fiber; `on_*` handlers run in engine event
+/// context when packets arrive.
+class Endpoint {
+ public:
+  Endpoint(World& world, int rank);
+
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  /// Posts a send of `data` (copied) to world rank `dst`. Chooses eager or
+  /// rendezvous from the configured threshold. Returns immediately; the
+  /// returned state completes via events.
+  [[nodiscard]] std::shared_ptr<SendState> post_send(std::span<const std::byte> data, int dst,
+                                                     int tag, std::uint32_t comm_id,
+                                                     trace::OpKind kind, trace::Op op);
+
+  /// Posts a receive into `buffer` (which must stay valid until the state
+  /// completes). `src` may be kAnySource, `tag` may be kAnyTag.
+  [[nodiscard]] std::shared_ptr<RecvState> post_recv(std::span<std::byte> buffer, int src, int tag,
+                                                     std::uint32_t comm_id, trace::OpKind kind,
+                                                     trace::Op op);
+
+  [[nodiscard]] const EndpointCounters& counters() const noexcept { return counters_; }
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+
+ private:
+  // Packet handlers (event context).
+  void on_eager(const Arrival& arrival);
+  void on_rts(const Arrival& arrival);
+  void on_data(const std::shared_ptr<SendState>& send, const std::shared_ptr<RecvState>& recv);
+
+  // §2.1 per-pair eager flow control (sender side): an eager message may
+  // only fly while the receiver's per-peer buffer has room; otherwise it
+  // queues here until a credit returns.
+  void launch_eager(const std::shared_ptr<SendState>& send);
+  void release_credit(int dst, std::int64_t bytes);
+
+  // Matching helpers.
+  [[nodiscard]] static bool matches(const RecvState& recv, const Arrival& arrival) noexcept;
+  [[nodiscard]] std::shared_ptr<RecvState> take_posted_match(const Arrival& arrival);
+  void deliver_eager_to(const std::shared_ptr<RecvState>& recv, const Arrival& arrival);
+  void grant_cts(const std::shared_ptr<SendState>& send, const std::shared_ptr<RecvState>& recv);
+
+  void record_logical_post(RecvState& recv);
+  void resolve_logical(const RecvState& recv, int sender, std::int64_t bytes);
+  void record_physical(int sender, std::int64_t bytes, trace::OpKind kind, trace::Op op);
+
+  void wake_owner();
+
+  World* world_;
+  int rank_;
+  std::deque<std::shared_ptr<RecvState>> posted_;
+  std::deque<Arrival> unexpected_;
+  std::vector<std::int64_t> credit_used_;                          // per destination
+  std::vector<std::deque<std::shared_ptr<SendState>>> send_queue_;  // per destination
+  EndpointCounters counters_;
+};
+
+}  // namespace mpipred::mpi::detail

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "mpi/status.hpp"
+#include "trace/event.hpp"
+
+namespace mpipred::mpi::detail {
+
+using Payload = std::shared_ptr<std::vector<std::byte>>;
+
+/// State of one send operation. Events capture a shared_ptr to this, so it
+/// outlives the posting call regardless of completion order.
+struct SendState {
+  int src = -1;
+  int dst = -1;  // world rank
+  int tag = 0;
+  std::uint32_t comm_id = 0;
+  std::int64_t bytes = 0;
+  Payload payload;  // copied at post time (buffered-send semantics)
+  trace::OpKind kind = trace::OpKind::PointToPoint;
+  trace::Op op = trace::Op::Recv;
+  bool rendezvous = false;
+  bool complete = false;
+};
+
+/// State of one receive operation.
+struct RecvState {
+  int receiver = -1;       // world rank
+  int src_filter = -1;     // world rank or kAnySource
+  int tag_filter = 0;      // tag or kAnyTag
+  std::uint32_t comm_id = 0;
+  std::span<std::byte> buffer;
+  trace::OpKind kind = trace::OpKind::PointToPoint;
+  trace::Op op = trace::Op::Recv;
+  bool matched = false;   // a message (or its RTS) has been bound to this recv
+  bool complete = false;  // payload landed in `buffer`, `status` valid
+  Status status{};
+  bool logical_recorded = false;
+  std::size_t logical_index = 0;  // valid when logical_recorded
+};
+
+/// An arrival the receiver was not ready for: either a complete eager
+/// payload or a rendezvous announcement (RTS) waiting for a matching recv.
+struct Arrival {
+  enum class Type : std::uint8_t { Eager, Rts };
+  Type type = Type::Eager;
+  int src = -1;  // world rank
+  int tag = 0;
+  std::uint32_t comm_id = 0;
+  std::int64_t bytes = 0;
+  trace::OpKind kind = trace::OpKind::PointToPoint;
+  trace::Op op = trace::Op::Recv;
+  Payload payload;                   // Eager only
+  std::shared_ptr<SendState> send;   // Rts only
+};
+
+}  // namespace mpipred::mpi::detail

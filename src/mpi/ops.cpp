@@ -1,0 +1,103 @@
+#include "mpi/ops.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace mpipred::mpi {
+
+namespace {
+
+template <typename T>
+void combine_typed(ReduceOp op, std::span<const std::byte> in, std::span<std::byte> inout) {
+  const std::size_t n = in.size() / sizeof(T);
+  for (std::size_t i = 0; i < n; ++i) {
+    T a;
+    T b;
+    std::memcpy(&a, in.data() + i * sizeof(T), sizeof(T));
+    std::memcpy(&b, inout.data() + i * sizeof(T), sizeof(T));
+    T r;
+    switch (op) {
+      case ReduceOp::Sum: r = static_cast<T>(b + a); break;
+      case ReduceOp::Prod: r = static_cast<T>(b * a); break;
+      case ReduceOp::Min: r = std::min(b, a); break;
+      case ReduceOp::Max: r = std::max(b, a); break;
+      case ReduceOp::LAnd: r = static_cast<T>((b != T{}) && (a != T{})); break;
+      case ReduceOp::LOr: r = static_cast<T>((b != T{}) || (a != T{})); break;
+      default: r = b; break;  // BAnd/BOr handled by integer overload
+    }
+    std::memcpy(inout.data() + i * sizeof(T), &r, sizeof(T));
+  }
+}
+
+template <typename T>
+void combine_bitwise(ReduceOp op, std::span<const std::byte> in, std::span<std::byte> inout) {
+  const std::size_t n = in.size() / sizeof(T);
+  for (std::size_t i = 0; i < n; ++i) {
+    T a;
+    T b;
+    std::memcpy(&a, in.data() + i * sizeof(T), sizeof(T));
+    std::memcpy(&b, inout.data() + i * sizeof(T), sizeof(T));
+    const T r = (op == ReduceOp::BAnd) ? static_cast<T>(b & a) : static_cast<T>(b | a);
+    std::memcpy(inout.data() + i * sizeof(T), &r, sizeof(T));
+  }
+}
+
+[[nodiscard]] constexpr bool is_bitwise(ReduceOp op) noexcept {
+  return op == ReduceOp::BAnd || op == ReduceOp::BOr;
+}
+
+[[nodiscard]] constexpr bool is_float(Datatype t) noexcept {
+  return t == Datatype::Float32 || t == Datatype::Float64;
+}
+
+}  // namespace
+
+void reduce_combine(Datatype dtype, ReduceOp op, std::span<const std::byte> in,
+                    std::span<std::byte> inout) {
+  MPIPRED_REQUIRE(in.size() == inout.size(), "reduce_combine spans must have equal size");
+  MPIPRED_REQUIRE(in.size() % datatype_size(dtype) == 0,
+                  "reduce_combine span size must be a multiple of the datatype size");
+  MPIPRED_REQUIRE(!(is_bitwise(op) && is_float(dtype)),
+                  "bitwise reductions are not defined for floating-point datatypes");
+
+  switch (dtype) {
+    case Datatype::Byte:
+      if (is_bitwise(op)) {
+        combine_bitwise<unsigned char>(op, in, inout);
+      } else {
+        combine_typed<unsigned char>(op, in, inout);
+      }
+      break;
+    case Datatype::Int32:
+      if (is_bitwise(op)) {
+        combine_bitwise<std::uint32_t>(op, in, inout);
+      } else {
+        combine_typed<std::int32_t>(op, in, inout);
+      }
+      break;
+    case Datatype::Int64:
+      if (is_bitwise(op)) {
+        combine_bitwise<std::uint64_t>(op, in, inout);
+      } else {
+        combine_typed<std::int64_t>(op, in, inout);
+      }
+      break;
+    case Datatype::UInt64:
+      if (is_bitwise(op)) {
+        combine_bitwise<std::uint64_t>(op, in, inout);
+      } else {
+        combine_typed<std::uint64_t>(op, in, inout);
+      }
+      break;
+    case Datatype::Float32:
+      combine_typed<float>(op, in, inout);
+      break;
+    case Datatype::Float64:
+      combine_typed<double>(op, in, inout);
+      break;
+  }
+}
+
+}  // namespace mpipred::mpi

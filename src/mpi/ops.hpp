@@ -1,0 +1,17 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "mpi/types.hpp"
+
+namespace mpipred::mpi {
+
+/// Element-wise combine: `inout[i] = op(inout[i], in[i])` interpreting both
+/// byte spans as arrays of `dtype`. Span lengths must be equal and a
+/// multiple of the datatype size. Logical/bitwise ops reject floating-point
+/// datatypes (as MPI does).
+void reduce_combine(Datatype dtype, ReduceOp op, std::span<const std::byte> in,
+                    std::span<std::byte> inout);
+
+}  // namespace mpipred::mpi

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "mpi/detail/state.hpp"
+#include "mpi/status.hpp"
+#include "sim/engine.hpp"
+
+namespace mpipred::mpi {
+
+/// Handle for a nonblocking operation (isend/irecv). Default-constructed
+/// requests are null. Copyable: copies share the underlying operation.
+class Request {
+ public:
+  Request() = default;
+
+  [[nodiscard]] bool valid() const noexcept { return send_ != nullptr || recv_ != nullptr; }
+
+  /// True once the operation has completed (nonblocking probe).
+  [[nodiscard]] bool test() const noexcept {
+    if (send_) {
+      return send_->complete;
+    }
+    if (recv_) {
+      return recv_->complete;
+    }
+    return true;  // null requests are trivially complete
+  }
+
+  /// Blocks the calling rank until the operation completes.
+  void wait() {
+    MPIPRED_REQUIRE(rank_ != nullptr || !valid(), "cannot wait on a detached request");
+    while (!test()) {
+      rank_->block(send_ ? "wait(send)" : "wait(recv)");
+    }
+  }
+
+  /// Receive completion status; only valid for completed receives.
+  [[nodiscard]] const Status& status() const {
+    MPIPRED_REQUIRE(recv_ != nullptr && recv_->complete,
+                    "status() requires a completed receive request");
+    return recv_->status;
+  }
+
+  /// Waits for every request in `reqs` (they may complete in any order).
+  static void wait_all(std::span<Request> reqs) {
+    for (Request& r : reqs) {
+      r.wait();
+    }
+  }
+
+ private:
+  friend class Communicator;
+
+  Request(sim::Rank& rank, std::shared_ptr<detail::SendState> s)
+      : rank_(&rank), send_(std::move(s)) {}
+  Request(sim::Rank& rank, std::shared_ptr<detail::RecvState> r)
+      : rank_(&rank), recv_(std::move(r)) {}
+
+  sim::Rank* rank_ = nullptr;
+  std::shared_ptr<detail::SendState> send_;
+  std::shared_ptr<detail::RecvState> recv_;
+};
+
+}  // namespace mpipred::mpi

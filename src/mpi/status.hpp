@@ -1,0 +1,16 @@
+#pragma once
+
+#include <cstdint>
+
+namespace mpipred::mpi {
+
+/// Completion information of a receive (MPI_Status equivalent).
+struct Status {
+  int source = -1;
+  int tag = -1;
+  std::int64_t bytes = 0;
+
+  [[nodiscard]] bool operator==(const Status&) const = default;
+};
+
+}  // namespace mpipred::mpi

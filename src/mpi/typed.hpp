@@ -1,0 +1,131 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "mpi/communicator.hpp"
+#include "mpi/types.hpp"
+
+/// Typed convenience wrappers over the byte-span Communicator API. These
+/// are what application code normally uses:
+///
+/// ```
+/// mpi::send_n(comm, std::span{values}, /*dst=*/1, /*tag=*/7);
+/// double norm2 = mpi::allreduce_value(comm, local_dot, mpi::ReduceOp::Sum);
+/// ```
+namespace mpipred::mpi {
+
+template <typename T>
+void send_n(Communicator& comm, std::span<const T> data, int dst, int tag = 0) {
+  comm.send(std::as_bytes(data), dst, tag);
+}
+
+template <typename T>
+Status recv_n(Communicator& comm, std::span<T> buf, int src, int tag = 0) {
+  return comm.recv(std::as_writable_bytes(buf), src, tag);
+}
+
+template <typename T>
+[[nodiscard]] Request isend_n(Communicator& comm, std::span<const T> data, int dst, int tag = 0) {
+  return comm.isend(std::as_bytes(data), dst, tag);
+}
+
+template <typename T>
+[[nodiscard]] Request irecv_n(Communicator& comm, std::span<T> buf, int src, int tag = 0) {
+  return comm.irecv(std::as_writable_bytes(buf), src, tag);
+}
+
+template <typename T>
+void send_value(Communicator& comm, const T& value, int dst, int tag = 0) {
+  comm.send(std::as_bytes(std::span{&value, 1}), dst, tag);
+}
+
+template <typename T>
+[[nodiscard]] T recv_value(Communicator& comm, int src, int tag = 0) {
+  T value{};
+  comm.recv(std::as_writable_bytes(std::span{&value, 1}), src, tag);
+  return value;
+}
+
+template <typename T>
+void bcast_value(Communicator& comm, T& value, int root) {
+  comm.bcast(std::as_writable_bytes(std::span{&value, 1}), root);
+}
+
+template <typename T>
+void bcast_n(Communicator& comm, std::span<T> data, int root) {
+  comm.bcast(std::as_writable_bytes(data), root);
+}
+
+template <typename T>
+[[nodiscard]] T allreduce_value(Communicator& comm, const T& value, ReduceOp op) {
+  T result{};
+  comm.allreduce(std::as_bytes(std::span{&value, 1}), std::as_writable_bytes(std::span{&result, 1}),
+                 datatype_of_v<T>, op);
+  return result;
+}
+
+template <typename T>
+void allreduce_n(Communicator& comm, std::span<const T> in, std::span<T> out, ReduceOp op) {
+  comm.allreduce(std::as_bytes(in), std::as_writable_bytes(out), datatype_of_v<T>, op);
+}
+
+template <typename T>
+[[nodiscard]] T reduce_value(Communicator& comm, const T& value, ReduceOp op, int root) {
+  T result{};
+  comm.reduce(std::as_bytes(std::span{&value, 1}), std::as_writable_bytes(std::span{&result, 1}),
+              datatype_of_v<T>, op, root);
+  return result;
+}
+
+/// Gathers one value per rank into a vector (meaningful at root; other
+/// ranks receive an empty vector).
+template <typename T>
+[[nodiscard]] std::vector<T> gather_value(Communicator& comm, const T& value, int root) {
+  std::vector<T> all;
+  if (comm.rank() == root) {
+    all.resize(static_cast<std::size_t>(comm.size()));
+    comm.gather(std::as_bytes(std::span{&value, 1}), std::as_writable_bytes(std::span{all}), root);
+  } else {
+    comm.gather(std::as_bytes(std::span{&value, 1}), {}, root);
+  }
+  return all;
+}
+
+template <typename T>
+[[nodiscard]] std::vector<T> allgather_value(Communicator& comm, const T& value) {
+  std::vector<T> all(static_cast<std::size_t>(comm.size()));
+  comm.allgather(std::as_bytes(std::span{&value, 1}), std::as_writable_bytes(std::span{all}));
+  return all;
+}
+
+template <typename T>
+void alltoall_n(Communicator& comm, std::span<const T> in, std::span<T> out) {
+  comm.alltoall(std::as_bytes(in), std::as_writable_bytes(out));
+}
+
+/// Typed alltoallv with element (not byte) counts.
+template <typename T>
+void alltoallv_n(Communicator& comm, std::span<const T> in,
+                 std::span<const std::int64_t> send_elem_counts, std::span<T> out,
+                 std::span<const std::int64_t> recv_elem_counts) {
+  std::vector<std::int64_t> sbytes(send_elem_counts.begin(), send_elem_counts.end());
+  std::vector<std::int64_t> rbytes(recv_elem_counts.begin(), recv_elem_counts.end());
+  for (auto& c : sbytes) {
+    c *= static_cast<std::int64_t>(sizeof(T));
+  }
+  for (auto& c : rbytes) {
+    c *= static_cast<std::int64_t>(sizeof(T));
+  }
+  comm.alltoallv(std::as_bytes(in), sbytes, std::as_writable_bytes(out), rbytes);
+}
+
+template <typename T>
+[[nodiscard]] T scan_value(Communicator& comm, const T& value, ReduceOp op) {
+  T result{};
+  comm.scan(std::as_bytes(std::span{&value, 1}), std::as_writable_bytes(std::span{&result, 1}),
+            datatype_of_v<T>, op);
+  return result;
+}
+
+}  // namespace mpipred::mpi

@@ -1,0 +1,60 @@
+#include "mpi/world.hpp"
+
+#include <numeric>
+
+#include "common/assert.hpp"
+#include "mpi/communicator.hpp"
+
+namespace mpipred::mpi {
+
+World::World(int nranks, WorldConfig cfg)
+    : cfg_(cfg), engine_(nranks, cfg.engine), traces_(nranks) {
+  MPIPRED_REQUIRE(cfg.eager_threshold_bytes >= 0, "eager threshold cannot be negative");
+  MPIPRED_REQUIRE(cfg.control_bytes > 0, "control messages need a positive size");
+  endpoints_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    endpoints_.push_back(std::make_unique<detail::Endpoint>(*this, r));
+  }
+}
+
+World::~World() = default;
+
+detail::Endpoint& World::endpoint(int world_rank) {
+  MPIPRED_REQUIRE(world_rank >= 0 && world_rank < nranks(), "endpoint rank out of range");
+  return *endpoints_[static_cast<std::size_t>(world_rank)];
+}
+
+std::uint32_t World::comm_id_for(std::uint64_t key) {
+  const auto [it, inserted] = comm_ids_.try_emplace(key, next_comm_id_);
+  if (inserted) {
+    ++next_comm_id_;
+  }
+  return it->second;
+}
+
+detail::EndpointCounters World::aggregate_counters() const {
+  detail::EndpointCounters total;
+  for (const auto& ep : endpoints_) {
+    const auto& c = ep->counters();
+    total.eager_received += c.eager_received;
+    total.rendezvous_received += c.rendezvous_received;
+    total.unexpected_arrivals += c.unexpected_arrivals;
+    total.unexpected_bytes_now += c.unexpected_bytes_now;
+    total.unexpected_bytes_peak += c.unexpected_bytes_peak;
+    total.sends_posted += c.sends_posted;
+    total.recvs_posted += c.recvs_posted;
+  }
+  return total;
+}
+
+void World::run(const std::function<void(Communicator&)>& rank_main) {
+  MPIPRED_REQUIRE(rank_main != nullptr, "rank_main must be callable");
+  engine_.run([this, &rank_main](sim::Rank& rank) {
+    std::vector<int> group(static_cast<std::size_t>(nranks()));
+    std::iota(group.begin(), group.end(), 0);
+    Communicator comm(*this, rank, /*comm_id=*/0, std::move(group), rank.id());
+    rank_main(comm);
+  });
+}
+
+}  // namespace mpipred::mpi

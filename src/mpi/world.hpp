@@ -1,0 +1,65 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "mpi/detail/endpoint.hpp"
+#include "mpi/types.hpp"
+#include "sim/engine.hpp"
+#include "trace/store.hpp"
+
+namespace mpipred::mpi {
+
+class Communicator;
+
+/// A simulated MPI job: `nranks` ranks on a simulated interconnect, with
+/// two-level message tracing. Construct, call run() once with the per-rank
+/// program, then read the traces.
+///
+/// ```
+/// mpi::World world(8, cfg);
+/// world.run([](mpi::Communicator& comm) {
+///   // ... comm.send / comm.recv / comm.allreduce ...
+/// });
+/// auto streams = trace::extract_streams(world.traces(), 3, trace::Level::Physical);
+/// ```
+class World {
+ public:
+  explicit World(int nranks, WorldConfig cfg = {});
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Runs `rank_main` as every rank's program until all ranks finish.
+  /// Throws DeadlockError / rethrows rank exceptions. One run per World.
+  void run(const std::function<void(Communicator&)>& rank_main);
+
+  [[nodiscard]] int nranks() const noexcept { return engine_.nranks(); }
+  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] trace::TraceStore& traces() noexcept { return traces_; }
+  [[nodiscard]] const trace::TraceStore& traces() const noexcept { return traces_; }
+  [[nodiscard]] const WorldConfig& config() const noexcept { return cfg_; }
+
+  [[nodiscard]] detail::Endpoint& endpoint(int world_rank);
+
+  /// Deterministic communicator-id registry used by Communicator::split():
+  /// the first rank to ask for `key` allocates a fresh id, subsequent ranks
+  /// asking for the same key observe the same id.
+  [[nodiscard]] std::uint32_t comm_id_for(std::uint64_t key);
+
+  /// Sum of all endpoints' counters (reports, §2.2 benchmarks).
+  [[nodiscard]] detail::EndpointCounters aggregate_counters() const;
+
+ private:
+  WorldConfig cfg_;
+  sim::Engine engine_;
+  trace::TraceStore traces_;
+  std::vector<std::unique_ptr<detail::Endpoint>> endpoints_;
+  std::map<std::uint64_t, std::uint32_t> comm_ids_;
+  std::uint32_t next_comm_id_ = 1;  // 0 is the world communicator
+};
+
+}  // namespace mpipred::mpi

@@ -1,0 +1,79 @@
+#include "scale/buffer_manager.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace mpipred::scale {
+
+PredictiveBufferManager::PredictiveBufferManager(const BufferManagerConfig& cfg)
+    : cfg_(cfg), predictor_(cfg.predictor) {
+  report_.policy = "predicted";
+  report_.buffer_bytes = cfg.buffer_bytes;
+}
+
+void PredictiveBufferManager::refresh_allocation() {
+  allocated_ = predictor_.predicted_senders();
+  // Keep a small LRU of recent senders allocated as well.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    if (std::find(allocated_.begin(), allocated_.end(), *it) == allocated_.end()) {
+      allocated_.push_back(*it);
+    }
+  }
+}
+
+bool PredictiveBufferManager::on_message(std::int64_t sender) {
+  const bool hit = std::find(allocated_.begin(), allocated_.end(), sender) != allocated_.end();
+  ++report_.messages;
+  if (hit) {
+    ++report_.hits;
+  } else {
+    ++report_.misses;
+  }
+
+  // Account memory *before* adapting to this message.
+  buffer_sum_ += static_cast<double>(allocated_.size());
+  report_.peak_buffers =
+      std::max(report_.peak_buffers, static_cast<std::int64_t>(allocated_.size()));
+  report_.avg_buffers = buffer_sum_ / static_cast<double>(report_.messages);
+
+  // Learn and re-plan.
+  predictor_.observe(sender, 0);
+  lru_.erase(std::remove(lru_.begin(), lru_.end(), sender), lru_.end());
+  lru_.push_back(sender);
+  if (lru_.size() > cfg_.lru_keep) {
+    lru_.erase(lru_.begin());
+  }
+  refresh_allocation();
+  return hit;
+}
+
+BufferComparison compare_buffer_policies(std::span<const std::int64_t> senders, int nranks,
+                                         const BufferManagerConfig& cfg) {
+  MPIPRED_REQUIRE(nranks >= 1, "need at least one rank");
+  BufferComparison out;
+
+  // All-pairs: one buffer per peer, always a hit.
+  out.all_pairs.policy = "all-pairs";
+  out.all_pairs.buffer_bytes = cfg.buffer_bytes;
+  out.all_pairs.messages = static_cast<std::int64_t>(senders.size());
+  out.all_pairs.hits = out.all_pairs.messages;
+  out.all_pairs.peak_buffers = nranks - 1;
+  out.all_pairs.avg_buffers = static_cast<double>(nranks - 1);
+
+  // No pre-allocation: every message pays the handshake.
+  out.none.policy = "none";
+  out.none.buffer_bytes = cfg.buffer_bytes;
+  out.none.messages = static_cast<std::int64_t>(senders.size());
+  out.none.misses = out.none.messages;
+
+  // Prediction-driven.
+  PredictiveBufferManager manager(cfg);
+  for (const auto s : senders) {
+    manager.on_message(s);
+  }
+  out.predicted = manager.report();
+  return out;
+}
+
+}  // namespace mpipred::scale

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scale/report.hpp"
+#include "scale/window.hpp"
+#include "trace/stream.hpp"
+
+namespace mpipred::scale {
+
+/// §2.1 — memory reduction. Current MPI implementations pre-allocate one
+/// receive buffer *per peer* (the paper: 16 KB x 10000 nodes = 160 MB per
+/// process). If the receiver can predict which processes will send next,
+/// it only needs buffers for those; an unpredicted sender falls back to
+/// the slow ask-permission path.
+///
+/// This is a trace-driven what-if: replay the physical sender stream of
+/// one receiver under a buffer policy and account memory and latency.
+struct BufferPolicyReport {
+  std::string policy;
+  std::int64_t messages = 0;
+  std::int64_t hits = 0;        // sender had a pre-allocated buffer
+  std::int64_t misses = 0;      // slow path
+  double avg_buffers = 0.0;     // mean resident buffer count
+  std::int64_t peak_buffers = 0;
+  std::int64_t buffer_bytes = 0;  // per-buffer size used for memory figures
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    return messages == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(messages);
+  }
+  [[nodiscard]] std::int64_t peak_memory_bytes() const noexcept {
+    return peak_buffers * buffer_bytes;
+  }
+  [[nodiscard]] double avg_memory_bytes() const noexcept {
+    return avg_buffers * static_cast<double>(buffer_bytes);
+  }
+  /// Mean per-message latency under the model (hit = direct, miss =
+  /// three-way handshake), using `mean_bytes` as the message size.
+  [[nodiscard]] double mean_latency_ns(const LatencyModel& model, double mean_bytes) const {
+    if (messages == 0) {
+      return 0.0;
+    }
+    const auto b = static_cast<std::int64_t>(mean_bytes);
+    return (static_cast<double>(hits) * model.direct_ns(b) +
+            static_cast<double>(misses) * model.handshake_ns(b)) /
+           static_cast<double>(messages);
+  }
+};
+
+struct BufferManagerConfig {
+  BufferManagerConfig() { predictor.horizon = 8; }
+
+  /// Predictor setup; the horizon defaults to 8 (wider than the paper's
+  /// +5 evaluation) because the predicted *set* must cover all frequent
+  /// senders of a window — BT has up to 6.
+  core::StreamPredictorConfig predictor{};
+  /// Per-peer buffer size (the IBM MPI figure the paper quotes).
+  std::int64_t buffer_bytes = 16 * 1024;
+  /// Buffers additionally retained for the most recently seen senders
+  /// (small LRU so a briefly mispredicted regular sender is not evicted).
+  std::size_t lru_keep = 3;
+};
+
+/// Replays `senders` (the physical sender stream of one receiver in a
+/// world of `nranks`) under three policies: all-pairs pre-allocation,
+/// prediction-driven allocation, and no pre-allocation.
+struct BufferComparison {
+  BufferPolicyReport all_pairs;
+  BufferPolicyReport predicted;
+  BufferPolicyReport none;
+};
+
+[[nodiscard]] BufferComparison compare_buffer_policies(std::span<const std::int64_t> senders,
+                                                       int nranks,
+                                                       const BufferManagerConfig& cfg = {});
+
+/// The prediction-driven policy as an online object (reused by tests and
+/// by the online example).
+class PredictiveBufferManager {
+ public:
+  explicit PredictiveBufferManager(const BufferManagerConfig& cfg = {});
+
+  /// Processes one arriving message; returns true if the sender had a
+  /// buffer pre-allocated (fast path).
+  bool on_message(std::int64_t sender);
+
+  [[nodiscard]] const BufferPolicyReport& report() const noexcept { return report_; }
+  [[nodiscard]] std::size_t resident_buffers() const noexcept { return allocated_.size(); }
+
+ private:
+  void refresh_allocation();
+
+  BufferManagerConfig cfg_;
+  JointPredictor predictor_;           // size stream fed with zeros; senders drive it
+  std::vector<std::int64_t> allocated_;  // senders with live buffers
+  std::vector<std::int64_t> lru_;        // most recent senders, newest last
+  BufferPolicyReport report_;
+  double buffer_sum_ = 0.0;
+};
+
+}  // namespace mpipred::scale

@@ -1,0 +1,95 @@
+#include "scale/credit_flow.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace mpipred::scale {
+
+namespace {
+
+[[nodiscard]] std::int64_t round_up(std::int64_t bytes, std::int64_t granule) noexcept {
+  return (bytes + granule - 1) / granule * granule;
+}
+
+}  // namespace
+
+CreditComparison compare_credit_policies(std::span<const std::int64_t> senders,
+                                         std::span<const std::int64_t> sizes,
+                                         const CreditFlowConfig& cfg) {
+  MPIPRED_REQUIRE(senders.size() == sizes.size(), "sender/size streams must align");
+  CreditComparison out;
+  const auto n = static_cast<std::int64_t>(senders.size());
+
+  // Eager everything: every message direct, receiver memory unbounded —
+  // model the pledge as "whatever shows up is buffered"; its peak is the
+  // largest burst, which in the worst case is the whole stream. We report
+  // the sum of all message bytes as the exposure (what §2.2 warns about:
+  // nothing limits it).
+  out.eager_everything.policy = "eager-everything";
+  out.eager_everything.messages = n;
+  out.eager_everything.credit_hits = n;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    out.eager_everything.total_latency_ns += cfg.latency.direct_ns(sizes[i]);
+    out.eager_everything.peak_pledged_bytes += round_up(sizes[i], cfg.granule_bytes);
+  }
+
+  // Always ask: bounded memory (one message at a time), 3x latency.
+  out.always_ask.policy = "always-ask";
+  out.always_ask.messages = n;
+  out.always_ask.credit_misses = n;
+  std::int64_t max_granule = 0;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    out.always_ask.total_latency_ns += cfg.latency.handshake_ns(sizes[i]);
+    max_granule = std::max(max_granule, round_up(sizes[i], cfg.granule_bytes));
+  }
+  out.always_ask.peak_pledged_bytes = max_granule;
+
+  // Predicted credits: the receiver keeps credits for the predicted next-H
+  // (sender, size) pairs. An arrival consumes a matching credit (sender
+  // matches and granted bytes cover the actual size).
+  out.predicted_credits.policy = "predicted-credits";
+  out.predicted_credits.messages = n;
+  JointPredictor predictor(cfg.predictor);
+  struct Credit {
+    std::int64_t sender;
+    std::int64_t bytes;
+  };
+  std::vector<Credit> credits;
+  for (std::size_t i = 0; i < senders.size(); ++i) {
+    // Account the current pledge.
+    std::int64_t pledged = 0;
+    for (const Credit& c : credits) {
+      pledged += c.bytes;
+    }
+    out.predicted_credits.peak_pledged_bytes =
+        std::max(out.predicted_credits.peak_pledged_bytes, pledged);
+
+    // Try to consume a credit for this arrival.
+    const auto it = std::find_if(credits.begin(), credits.end(), [&](const Credit& c) {
+      return c.sender == senders[i] && c.bytes >= sizes[i];
+    });
+    if (it != credits.end()) {
+      ++out.predicted_credits.credit_hits;
+      out.predicted_credits.total_latency_ns += cfg.latency.direct_ns(sizes[i]);
+      credits.erase(it);
+    } else {
+      ++out.predicted_credits.credit_misses;
+      out.predicted_credits.total_latency_ns += cfg.latency.handshake_ns(sizes[i]);
+    }
+
+    // Learn, then re-issue credits for the new predicted window.
+    predictor.observe(senders[i], sizes[i]);
+    credits.clear();
+    for (std::size_t h = 1; h <= predictor.horizon(); ++h) {
+      const auto pair = predictor.predict(h);
+      if (pair.sender && pair.bytes) {
+        credits.push_back(Credit{*pair.sender, round_up(*pair.bytes, cfg.granule_bytes)});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mpipred::scale

@@ -1,0 +1,41 @@
+#include "scale/rendezvous.hpp"
+
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace mpipred::scale {
+
+RendezvousReport evaluate_rendezvous_elision(std::span<const std::int64_t> senders,
+                                             std::span<const std::int64_t> sizes,
+                                             const RendezvousConfig& cfg) {
+  MPIPRED_REQUIRE(senders.size() == sizes.size(), "sender/size streams must align");
+  RendezvousReport report;
+  JointPredictor predictor(cfg.predictor);
+
+  for (std::size_t i = 0; i < senders.size(); ++i) {
+    if (sizes[i] > cfg.threshold_bytes) {
+      ++report.long_messages;
+      report.baseline_latency_ns += cfg.latency.handshake_ns(sizes[i]);
+
+      // Was (sender, >= size) anticipated anywhere in the predicted
+      // window? Buffers pre-allocated for the window make order moot.
+      bool anticipated = false;
+      for (std::size_t h = 1; h <= predictor.horizon() && !anticipated; ++h) {
+        const auto pair = predictor.predict(h);
+        anticipated = pair.sender && pair.bytes && *pair.sender == senders[i] &&
+                      *pair.bytes >= sizes[i];
+      }
+      if (anticipated) {
+        ++report.elided;
+        report.predicted_latency_ns += cfg.latency.direct_ns(sizes[i]);
+      } else {
+        report.predicted_latency_ns += cfg.latency.handshake_ns(sizes[i]);
+      }
+    }
+    predictor.observe(senders[i], sizes[i]);
+  }
+  return report;
+}
+
+}  // namespace mpipred::scale

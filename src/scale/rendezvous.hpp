@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "scale/report.hpp"
+#include "scale/window.hpp"
+
+namespace mpipred::scale {
+
+/// §2.3 — long messages without rendezvous. Large messages normally pay a
+/// three-leg handshake (RTS -> CTS -> DATA) because the sender cannot
+/// assume receiver memory. If the receiver *predicts* that a large message
+/// of a given size is coming from a given sender, it can allocate the
+/// buffer and grant the CTS before the sender even asks — the long message
+/// then travels like a short one.
+///
+/// Trace-driven replay over one receiver's physical stream: a long message
+/// is "elided" when the predicted next-H window contained its sender and a
+/// size >= its actual size (the set view of §5.3 — buffers don't care
+/// about exact arrival order).
+struct RendezvousReport {
+  std::int64_t long_messages = 0;
+  std::int64_t elided = 0;
+  double baseline_latency_ns = 0.0;   // all long messages via rendezvous
+  double predicted_latency_ns = 0.0;  // elided ones go direct
+
+  [[nodiscard]] double elision_rate() const noexcept {
+    return long_messages == 0 ? 0.0
+                              : static_cast<double>(elided) / static_cast<double>(long_messages);
+  }
+  [[nodiscard]] double speedup() const noexcept {
+    return predicted_latency_ns == 0.0 ? 1.0 : baseline_latency_ns / predicted_latency_ns;
+  }
+};
+
+struct RendezvousConfig {
+  core::StreamPredictorConfig predictor{};
+  LatencyModel latency{};
+  /// Messages above this size would use rendezvous (the usual eager/rndv
+  /// threshold).
+  std::int64_t threshold_bytes = 16 * 1024;
+};
+
+[[nodiscard]] RendezvousReport evaluate_rendezvous_elision(std::span<const std::int64_t> senders,
+                                                           std::span<const std::int64_t> sizes,
+                                                           const RendezvousConfig& cfg = {});
+
+}  // namespace mpipred::scale

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdint>
+
+namespace mpipred::scale {
+
+/// Simple first-order latency model for the trace-driven what-if analyses:
+/// a message that can go out directly costs one latency plus its
+/// serialization time; a message that must first ask permission costs three
+/// latencies (request, grant, data) plus serialization — the §2
+/// control-flow overhead the paper describes.
+struct LatencyModel {
+  double latency_ns = 20'000.0;
+  double ns_per_byte = 10.0;
+
+  [[nodiscard]] double direct_ns(std::int64_t bytes) const noexcept {
+    return latency_ns + static_cast<double>(bytes) * ns_per_byte;
+  }
+  [[nodiscard]] double handshake_ns(std::int64_t bytes) const noexcept {
+    return 3.0 * latency_ns + static_cast<double>(bytes) * ns_per_byte;
+  }
+};
+
+}  // namespace mpipred::scale

@@ -1,0 +1,48 @@
+#include "scale/window.hpp"
+
+#include <algorithm>
+
+namespace mpipred::scale {
+
+JointPredictor::JointPredictor(core::StreamPredictorConfig cfg)
+    : cfg_(cfg), senders_(cfg), sizes_(cfg) {}
+
+void JointPredictor::observe(std::int64_t sender, std::int64_t bytes) {
+  senders_.observe(sender);
+  sizes_.observe(bytes);
+}
+
+JointPredictor::Pair JointPredictor::predict(std::size_t h) const {
+  return Pair{.sender = senders_.predict(h), .bytes = sizes_.predict(h)};
+}
+
+std::vector<std::int64_t> JointPredictor::predicted_senders() const {
+  std::vector<std::int64_t> out;
+  out.reserve(cfg_.horizon);
+  for (std::size_t h = 1; h <= cfg_.horizon; ++h) {
+    if (const auto s = senders_.predict(h)) {
+      if (std::find(out.begin(), out.end(), *s) == out.end()) {
+        out.push_back(*s);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::int64_t> JointPredictor::predicted_sizes() const {
+  std::vector<std::int64_t> out;
+  out.reserve(cfg_.horizon);
+  for (std::size_t h = 1; h <= cfg_.horizon; ++h) {
+    if (const auto s = sizes_.predict(h)) {
+      out.push_back(*s);
+    }
+  }
+  return out;
+}
+
+void JointPredictor::reset() {
+  senders_.reset();
+  sizes_.reset();
+}
+
+}  // namespace mpipred::scale

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/stream_predictor.hpp"
+
+namespace mpipred::scale {
+
+/// Joint predictor over the two streams the runtime mechanisms need: who
+/// sends next, and how large the messages are. Wraps two independent DPD
+/// predictors (the paper predicts the streams separately) and exposes the
+/// set-style views §5.3 argues are the actionable ones.
+class JointPredictor {
+ public:
+  explicit JointPredictor(core::StreamPredictorConfig cfg = {});
+
+  /// Feeds one received message.
+  void observe(std::int64_t sender, std::int64_t bytes);
+
+  /// Predicted (sender, bytes) for `h` steps ahead; nullopt components
+  /// where the corresponding stream has no detected period.
+  struct Pair {
+    std::optional<std::int64_t> sender;
+    std::optional<std::int64_t> bytes;
+  };
+  [[nodiscard]] Pair predict(std::size_t h) const;
+
+  /// Distinct senders in the predicted next-horizon window.
+  [[nodiscard]] std::vector<std::int64_t> predicted_senders() const;
+
+  /// Predicted sizes (one per horizon slot that has a prediction).
+  [[nodiscard]] std::vector<std::int64_t> predicted_sizes() const;
+
+  [[nodiscard]] std::size_t horizon() const noexcept { return cfg_.horizon; }
+  [[nodiscard]] const core::StreamPredictor& sender_predictor() const noexcept { return senders_; }
+  [[nodiscard]] const core::StreamPredictor& size_predictor() const noexcept { return sizes_; }
+
+  void reset();
+
+ private:
+  core::StreamPredictorConfig cfg_;
+  core::StreamPredictor senders_;
+  core::StreamPredictor sizes_;
+};
+
+}  // namespace mpipred::scale

@@ -1,0 +1,154 @@
+#include "sim/engine.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+
+namespace mpipred::sim {
+
+int Rank::world_size() const noexcept { return engine_->nranks(); }
+
+SimTime Rank::now() const noexcept { return engine_->now(); }
+
+void Rank::compute(SimTime d) {
+  const double cv = engine_->config().network.compute_jitter_cv;
+  compute_exact(from_ns(to_ns(d) * rng_.lognormal_factor(cv)));
+}
+
+void Rank::compute_exact(SimTime d) {
+  MPIPRED_REQUIRE(d >= SimTime{0}, "compute duration cannot be negative");
+  if (d == SimTime{0}) {
+    return;
+  }
+  // Like every blocking primitive built on block()/unblock(), this loops:
+  // other subsystems may unblock this rank spuriously (condition-variable
+  // semantics), so completion is tracked with an explicit flag. The flag
+  // lives on the fiber stack, which outlives the event because the fiber
+  // stays suspended until the event fires.
+  bool done = false;
+  engine_->schedule_after(d, [this, &done] {
+    done = true;
+    unblock();
+  });
+  while (!done) {
+    block("compute");
+  }
+}
+
+void Rank::block(std::string why) {
+  MPIPRED_REQUIRE(Fiber::current() != nullptr, "block() must run inside a rank fiber");
+  MPIPRED_REQUIRE(!blocked_, "rank is already blocked");
+  block_reason_ = std::move(why);
+  blocked_ = true;
+  // An unblock() may already be pending (e.g. the condition was satisfied
+  // between deciding to block and blocking); if so, stay logically blocked
+  // until the scheduled resume fires.
+  Fiber::yield();
+  blocked_ = false;
+  block_reason_.clear();
+}
+
+void Rank::unblock() {
+  if (resume_pending_) {
+    return;  // a resume is already scheduled; don't double-schedule
+  }
+  resume_pending_ = true;
+  engine_->schedule(engine_->now(), [this, e = engine_, r = id_] {
+    resume_pending_ = false;
+    e->resume_rank(r);
+  });
+}
+
+Engine::Engine(int nranks, EngineConfig cfg)
+    : cfg_(cfg), network_(nranks, cfg.network, cfg.seed) {
+  MPIPRED_REQUIRE(nranks > 0, "engine needs at least one rank");
+  ranks_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    const std::uint64_t rank_seed =
+        derive_seed(cfg.seed, std::uint64_t{0x52414E4B} + static_cast<std::uint64_t>(r));
+    ranks_.emplace_back(std::unique_ptr<Rank>(new Rank(*this, r, rank_seed)));
+  }
+}
+
+Engine::~Engine() = default;
+
+Rank& Engine::rank(int r) {
+  MPIPRED_REQUIRE(r >= 0 && r < nranks(), "rank index out of range");
+  return *ranks_[static_cast<std::size_t>(r)];
+}
+
+void Engine::schedule(SimTime when, std::function<void()> cb) {
+  MPIPRED_REQUIRE(cb != nullptr, "cannot schedule a null callback");
+  if (when < now_) {
+    when = now_;  // time never flows backwards
+  }
+  events_.push(Event{when, next_seq_++, std::move(cb)});
+}
+
+void Engine::schedule_after(SimTime delay, std::function<void()> cb) {
+  MPIPRED_REQUIRE(delay >= SimTime{0}, "delay cannot be negative");
+  schedule(now_ + delay, std::move(cb));
+}
+
+void Engine::resume_rank(int r) {
+  Fiber& f = *fibers_[static_cast<std::size_t>(r)];
+  if (f.finished()) {
+    return;
+  }
+  ++stats_.context_switches;
+  f.resume();  // rethrows anything that escaped the rank body
+}
+
+std::string Engine::describe_blocked_ranks() const {
+  std::ostringstream os;
+  for (int r = 0; r < nranks(); ++r) {
+    const auto& rank = *ranks_[static_cast<std::size_t>(r)];
+    const auto& fiber = *fibers_[static_cast<std::size_t>(r)];
+    if (!fiber.finished()) {
+      os << "\n  rank " << r << ": "
+         << (rank.blocked_ ? rank.block_reason_ : std::string("not yet finished"));
+    }
+  }
+  return os.str();
+}
+
+void Engine::run(const std::function<void(Rank&)>& rank_main) {
+  MPIPRED_REQUIRE(rank_main != nullptr, "rank_main must be callable");
+  MPIPRED_REQUIRE(!running_, "engine is already running");
+  MPIPRED_REQUIRE(fibers_.empty(), "engine cannot be reused for a second run");
+  running_ = true;
+
+  fibers_.reserve(ranks_.size());
+  for (auto& rank : ranks_) {
+    Rank* rp = rank.get();
+    fibers_.push_back(
+        std::make_unique<Fiber>([rp, &rank_main] { rank_main(*rp); }, cfg_.fiber_stack_bytes));
+  }
+  for (int r = 0; r < nranks(); ++r) {
+    schedule(SimTime{0}, [this, r] { resume_rank(r); });
+  }
+
+  while (!events_.empty()) {
+    // std::priority_queue exposes only a const top(); moving out right
+    // before pop() is safe because pop() never reads the moved-from cb.
+    Event ev = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    now_ = ev.when;
+    ++stats_.events_processed;
+    ev.cb();
+  }
+
+  stats_.final_time = now_;
+  running_ = false;
+
+  for (const auto& fiber : fibers_) {
+    if (!fiber->finished()) {
+      throw DeadlockError("simulation ran out of events with unfinished ranks:" +
+                          describe_blocked_ranks());
+    }
+  }
+}
+
+}  // namespace mpipred::sim

@@ -1,0 +1,92 @@
+#include "sim/fiber.hpp"
+
+#include <ucontext.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+
+namespace mpipred::sim {
+
+namespace {
+/// The fiber currently executing on this thread (nullptr in scheduler
+/// context). thread_local so independent simulations may run on different
+/// threads (e.g. parallel gtest shards within one binary).
+thread_local Fiber* g_current_fiber = nullptr;
+}  // namespace
+
+struct Fiber::Impl {
+  ucontext_t fiber_ctx{};
+  ucontext_t scheduler_ctx{};
+  std::vector<unsigned char> stack;
+};
+
+Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
+    : impl_(std::make_unique<Impl>()), body_(std::move(body)) {
+  MPIPRED_REQUIRE(body_ != nullptr, "fiber body must be callable");
+  MPIPRED_REQUIRE(stack_bytes >= 16 * 1024, "fiber stack must be at least 16 KiB");
+  impl_->stack.resize(stack_bytes);
+}
+
+Fiber::~Fiber() = default;
+
+bool Fiber::running() const noexcept { return g_current_fiber == this; }
+
+Fiber* Fiber::current() noexcept { return g_current_fiber; }
+
+void Fiber::trampoline() {
+  Fiber* self = g_current_fiber;
+  try {
+    self->body_();
+  } catch (...) {
+    self->pending_exception_ = std::current_exception();
+  }
+  self->finished_ = true;
+  // Return to the scheduler for the last time. swapcontext (rather than
+  // falling off the end) keeps the ucontext linkage explicit.
+  swapcontext(&self->impl_->fiber_ctx, &self->impl_->scheduler_ctx);
+}
+
+void Fiber::resume() {
+  MPIPRED_REQUIRE(g_current_fiber == nullptr, "resume() must be called from scheduler context");
+  MPIPRED_REQUIRE(!finished_, "cannot resume a finished fiber");
+
+  if (!started_) {
+    started_ = true;
+    if (getcontext(&impl_->fiber_ctx) != 0) {
+      throw Error("getcontext failed");
+    }
+    impl_->fiber_ctx.uc_stack.ss_sp = impl_->stack.data();
+    impl_->fiber_ctx.uc_stack.ss_size = impl_->stack.size();
+    impl_->fiber_ctx.uc_link = nullptr;  // termination handled in trampoline
+    makecontext(&impl_->fiber_ctx, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
+  }
+
+  g_current_fiber = this;
+  if (swapcontext(&impl_->scheduler_ctx, &impl_->fiber_ctx) != 0) {
+    g_current_fiber = nullptr;
+    throw Error("swapcontext into fiber failed");
+  }
+  g_current_fiber = nullptr;
+
+  if (pending_exception_) {
+    std::exception_ptr ex = pending_exception_;
+    pending_exception_ = nullptr;
+    std::rethrow_exception(ex);
+  }
+}
+
+void Fiber::yield() {
+  Fiber* self = g_current_fiber;
+  MPIPRED_REQUIRE(self != nullptr, "yield() must be called from inside a fiber");
+  g_current_fiber = nullptr;
+  if (swapcontext(&self->impl_->fiber_ctx, &self->impl_->scheduler_ctx) != 0) {
+    g_current_fiber = self;
+    throw Error("swapcontext out of fiber failed");
+  }
+  // Restored by resume() before control returns here.
+}
+
+}  // namespace mpipred::sim

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+
+namespace mpipred::sim {
+
+/// A stackful cooperative coroutine ("fiber") built on POSIX ucontext.
+///
+/// The simulation runs every rank of the simulated machine as a fiber inside
+/// one OS thread: `resume()` transfers control into the fiber, and the fiber
+/// gives control back with `Fiber::yield()`. Handoffs cost ~100 ns, which is
+/// what makes simulating millions of blocking MPI calls practical, and the
+/// single-threaded execution makes every run bit-reproducible.
+///
+/// Exceptions thrown inside the fiber body are captured and rethrown from
+/// the `resume()` call that observed the termination.
+class Fiber {
+ public:
+  /// Creates a suspended fiber that will run `body` on first resume.
+  explicit Fiber(std::function<void()> body, std::size_t stack_bytes = 256 * 1024);
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+  Fiber(Fiber&&) = delete;
+  Fiber& operator=(Fiber&&) = delete;
+
+  /// Destroying a fiber that has not finished is allowed (its stack is
+  /// simply released); the body must not rely on running to completion.
+  ~Fiber();
+
+  /// Runs the fiber until it yields or finishes. Must be called from
+  /// scheduler context (never from inside any fiber). Rethrows any
+  /// exception that escaped the fiber body.
+  void resume();
+
+  /// Suspends the currently running fiber, returning control to the
+  /// scheduler context that called resume(). Must be called from inside a
+  /// fiber.
+  static void yield();
+
+  /// True once the body has returned (or thrown).
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+
+  /// True while this fiber is the one currently executing.
+  [[nodiscard]] bool running() const noexcept;
+
+  /// The fiber currently executing on this thread, or nullptr when in
+  /// scheduler context.
+  [[nodiscard]] static Fiber* current() noexcept;
+
+ private:
+  struct Impl;
+  static void trampoline();
+
+  std::unique_ptr<Impl> impl_;
+  std::function<void()> body_;
+  bool started_ = false;
+  bool finished_ = false;
+  std::exception_ptr pending_exception_;
+};
+
+}  // namespace mpipred::sim

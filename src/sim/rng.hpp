@@ -1,0 +1,121 @@
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace mpipred::sim {
+
+/// splitmix64: used to expand a single user seed into well-distributed
+/// per-purpose seeds (per rank, per subsystem). Reference: Vigna, 2015.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 — small, fast, deterministic across platforms (unlike
+/// std::mt19937 + std::*_distribution, whose outputs are not pinned by the
+/// standard). This matters because physical-level traces must be exactly
+/// reproducible from a seed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) {
+      word = splitmix64(sm);
+    }
+  }
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  [[nodiscard]] std::uint64_t below(std::uint64_t n) noexcept {
+    // Lemire's multiply-shift rejection method, debiased.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare so the
+  /// stream position is a pure function of the call count).
+  [[nodiscard]] double normal() noexcept {
+    double u1 = uniform();
+    while (u1 <= 0.0) {
+      u1 = uniform();
+    }
+    const double u2 = uniform();
+    constexpr double two_pi = 6.283185307179586476925286766559;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(two_pi * u2);
+  }
+
+  /// Multiplicative noise factor with mean 1 and the given coefficient of
+  /// variation, drawn from a lognormal distribution. cv == 0 returns 1
+  /// exactly (and consumes no randomness), so noise-free runs are free of
+  /// floating-point perturbation.
+  [[nodiscard]] double lognormal_factor(double cv) noexcept {
+    if (cv <= 0.0) {
+      return 1.0;
+    }
+    const double sigma2 = std::log(1.0 + cv * cv);
+    const double mu = -0.5 * sigma2;  // makes E[factor] == 1
+    return std::exp(mu + std::sqrt(sigma2) * normal());
+  }
+
+ private:
+  [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Derive an independent child seed from (root seed, stream id). Used to
+/// give each rank / subsystem its own Rng so adding randomness consumers in
+/// one place never shifts another's stream.
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t root, std::uint64_t stream) noexcept {
+  std::uint64_t s = root ^ (0xA24BAED4963EE407ULL + stream * 0x9FB21C651E98DF25ULL);
+  std::uint64_t first = splitmix64(s);
+  return first ^ splitmix64(s);
+}
+
+}  // namespace mpipred::sim

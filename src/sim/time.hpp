@@ -1,0 +1,30 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace mpipred::sim {
+
+/// Simulated time. All engine timestamps are nanoseconds since the start of
+/// the simulation; durations use the same representation. std::chrono gives
+/// unit safety for free (callers can write 5us, 20ms, ...).
+using SimTime = std::chrono::nanoseconds;
+
+using namespace std::chrono_literals;
+
+/// Convert a floating-point nanosecond count (as produced by the network
+/// model's arithmetic) to SimTime, rounding to the nearest representable
+/// tick. Negative inputs clamp to zero: time never flows backwards.
+[[nodiscard]] constexpr SimTime from_ns(double ns) noexcept {
+  if (ns <= 0.0) {
+    return SimTime{0};
+  }
+  return SimTime{static_cast<std::int64_t>(ns + 0.5)};
+}
+
+/// The reverse conversion, for ratio computations in reports.
+[[nodiscard]] constexpr double to_ns(SimTime t) noexcept {
+  return static_cast<double>(t.count());
+}
+
+}  // namespace mpipred::sim

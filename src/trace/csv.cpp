@@ -1,0 +1,117 @@
+#include "trace/csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mpipred::trace {
+
+namespace {
+
+constexpr std::string_view kHeader = "rank,level,time_ns,sender,bytes,kind,op";
+
+template <typename T>
+T parse_int(std::string_view field, std::string_view what) {
+  T value{};
+  const auto* begin = field.data();
+  const auto* end = field.data() + field.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) {
+    throw Error("trace csv: malformed " + std::string(what) + " field '" + std::string(field) +
+                "'");
+  }
+  return value;
+}
+
+std::vector<std::string_view> split(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return fields;
+}
+
+}  // namespace
+
+void write_csv(std::ostream& os, const TraceStore& store) {
+  os << kHeader << '\n';
+  for (int rank = 0; rank < store.nranks(); ++rank) {
+    for (const Level level : {Level::Logical, Level::Physical}) {
+      for (const Record& rec : store.records(rank, level)) {
+        os << rank << ',' << static_cast<int>(level) << ',' << rec.time.count() << ','
+           << rec.sender << ',' << rec.bytes << ',' << static_cast<int>(rec.kind) << ','
+           << static_cast<int>(rec.op) << '\n';
+      }
+    }
+  }
+}
+
+void write_csv_file(const std::string& path, const TraceStore& store) {
+  std::ofstream os(path);
+  if (!os) {
+    throw Error("trace csv: cannot open '" + path + "' for writing");
+  }
+  write_csv(os, store);
+  if (!os) {
+    throw Error("trace csv: write to '" + path + "' failed");
+  }
+}
+
+TraceStore read_csv(std::istream& is, int nranks) {
+  TraceStore store(nranks);
+  std::string line;
+  if (!std::getline(is, line) || line != kHeader) {
+    throw Error("trace csv: missing or unexpected header");
+  }
+  std::size_t lineno = 1;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) {
+      continue;
+    }
+    const auto fields = split(line);
+    if (fields.size() != 7) {
+      throw Error("trace csv: line " + std::to_string(lineno) + " has " +
+                  std::to_string(fields.size()) + " fields, expected 7");
+    }
+    const int rank = parse_int<int>(fields[0], "rank");
+    const int level_raw = parse_int<int>(fields[1], "level");
+    if (level_raw < 0 || level_raw >= kNumLevels) {
+      throw Error("trace csv: line " + std::to_string(lineno) + " has invalid level");
+    }
+    Record rec;
+    rec.time = sim::SimTime{parse_int<std::int64_t>(fields[2], "time_ns")};
+    rec.sender = parse_int<std::int32_t>(fields[3], "sender");
+    rec.bytes = parse_int<std::int64_t>(fields[4], "bytes");
+    const int kind_raw = parse_int<int>(fields[5], "kind");
+    if (kind_raw < 0 || kind_raw > 1) {
+      throw Error("trace csv: line " + std::to_string(lineno) + " has invalid kind");
+    }
+    rec.kind = static_cast<OpKind>(kind_raw);
+    rec.op = static_cast<Op>(parse_int<int>(fields[6], "op"));
+    store.append(rank, static_cast<Level>(level_raw), rec);
+  }
+  return store;
+}
+
+TraceStore read_csv_file(const std::string& path, int nranks) {
+  std::ifstream is(path);
+  if (!is) {
+    throw Error("trace csv: cannot open '" + path + "' for reading");
+  }
+  return read_csv(is, nranks);
+}
+
+}  // namespace mpipred::trace

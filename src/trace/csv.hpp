@@ -1,0 +1,21 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/store.hpp"
+
+namespace mpipred::trace {
+
+/// Writes every record of `store` as CSV with the header
+/// `rank,level,time_ns,sender,bytes,kind,op`. Streams are emitted rank by
+/// rank, level by level, preserving in-stream order.
+void write_csv(std::ostream& os, const TraceStore& store);
+void write_csv_file(const std::string& path, const TraceStore& store);
+
+/// Reads a CSV produced by write_csv back into a store with `nranks` ranks.
+/// Throws mpipred::Error on malformed input.
+[[nodiscard]] TraceStore read_csv(std::istream& is, int nranks);
+[[nodiscard]] TraceStore read_csv_file(const std::string& path, int nranks);
+
+}  // namespace mpipred::trace

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace mpipred::trace {
+
+/// The two instrumentation levels of section 3.1 of the paper.
+///
+///  * Logical  — MPI calls observed at the *top* of the library, in program
+///               order: a pure function of the application code.
+///  * Physical — message arrivals observed at the *bottom* of the library,
+///               in delivery order: program order plus random effects
+///               (jitter, congestion, load imbalance).
+enum class Level : std::uint8_t { Logical = 0, Physical = 1 };
+
+inline constexpr int kNumLevels = 2;
+
+[[nodiscard]] constexpr std::string_view to_string(Level l) noexcept {
+  return l == Level::Logical ? "logical" : "physical";
+}
+
+/// Whether a received message belongs to point-to-point traffic or was an
+/// internal fragment of a collective operation (Table 1 counts these
+/// separately).
+enum class OpKind : std::uint8_t { PointToPoint = 0, Collective = 1 };
+
+[[nodiscard]] constexpr std::string_view to_string(OpKind k) noexcept {
+  return k == OpKind::PointToPoint ? "p2p" : "coll";
+}
+
+/// The library operation a record was produced by (diagnostics / filters).
+enum class Op : std::uint8_t {
+  Recv,
+  Barrier,
+  Bcast,
+  Reduce,
+  Allreduce,
+  Gather,
+  Allgather,
+  Scatter,
+  Alltoall,
+  Alltoallv,
+  ReduceScatter,
+  Scan,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Op op) noexcept {
+  switch (op) {
+    case Op::Recv: return "recv";
+    case Op::Barrier: return "barrier";
+    case Op::Bcast: return "bcast";
+    case Op::Reduce: return "reduce";
+    case Op::Allreduce: return "allreduce";
+    case Op::Gather: return "gather";
+    case Op::Allgather: return "allgather";
+    case Op::Scatter: return "scatter";
+    case Op::Alltoall: return "alltoall";
+    case Op::Alltoallv: return "alltoallv";
+    case Op::ReduceScatter: return "reduce_scatter";
+    case Op::Scan: return "scan";
+  }
+  return "?";
+}
+
+/// Sender value used while a wildcard (ANY_SOURCE) receive has not been
+/// matched yet. Logical records created for wildcard receives start out
+/// unresolved and are patched once the match is known; the position in the
+/// stream (program order) is already correct at creation time.
+inline constexpr std::int32_t kUnresolvedSender = -1;
+
+/// One received message, as seen by one instrumentation level.
+struct Record {
+  sim::SimTime time{0};   ///< post time (logical) / delivery time (physical)
+  std::int32_t sender = kUnresolvedSender;
+  std::int64_t bytes = 0;
+  OpKind kind = OpKind::PointToPoint;
+  Op op = Op::Recv;
+
+  [[nodiscard]] bool operator==(const Record&) const = default;
+};
+
+}  // namespace mpipred::trace

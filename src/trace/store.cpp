@@ -1,0 +1,60 @@
+#include "trace/store.hpp"
+
+#include "common/assert.hpp"
+
+namespace mpipred::trace {
+
+TraceStore::TraceStore(int nranks) : nranks_(nranks) {
+  MPIPRED_REQUIRE(nranks > 0, "trace store needs at least one rank");
+  streams_.resize(static_cast<std::size_t>(nranks) * kNumLevels);
+}
+
+std::vector<Record>& TraceStore::stream(int rank, Level level) {
+  MPIPRED_REQUIRE(rank >= 0 && rank < nranks_, "trace rank out of range");
+  return streams_[static_cast<std::size_t>(rank) * kNumLevels + static_cast<std::size_t>(level)];
+}
+
+const std::vector<Record>& TraceStore::stream(int rank, Level level) const {
+  MPIPRED_REQUIRE(rank >= 0 && rank < nranks_, "trace rank out of range");
+  return streams_[static_cast<std::size_t>(rank) * kNumLevels + static_cast<std::size_t>(level)];
+}
+
+std::size_t TraceStore::append(int rank, Level level, const Record& rec) {
+  auto& s = stream(rank, level);
+  s.push_back(rec);
+  return s.size() - 1;
+}
+
+void TraceStore::resolve_sender(int rank, Level level, std::size_t index, std::int32_t sender) {
+  auto& s = stream(rank, level);
+  MPIPRED_REQUIRE(index < s.size(), "trace record index out of range");
+  s[index].sender = sender;
+}
+
+void TraceStore::resolve(int rank, Level level, std::size_t index, std::int32_t sender,
+                         std::int64_t bytes) {
+  auto& s = stream(rank, level);
+  MPIPRED_REQUIRE(index < s.size(), "trace record index out of range");
+  s[index].sender = sender;
+  s[index].bytes = bytes;
+}
+
+std::span<const Record> TraceStore::records(int rank, Level level) const {
+  return stream(rank, level);
+}
+
+std::size_t TraceStore::total_records(Level level) const noexcept {
+  std::size_t n = 0;
+  for (int r = 0; r < nranks_; ++r) {
+    n += streams_[static_cast<std::size_t>(r) * kNumLevels + static_cast<std::size_t>(level)].size();
+  }
+  return n;
+}
+
+void TraceStore::clear() noexcept {
+  for (auto& s : streams_) {
+    s.clear();
+  }
+}
+
+}  // namespace mpipred::trace

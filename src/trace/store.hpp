@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace mpipred::trace {
+
+/// Collects the per-rank, per-level message streams of one simulated run.
+/// The MPI layer appends records as it executes; analysis code reads the
+/// finished streams. Single-threaded by design (the engine runs all ranks
+/// on one thread).
+class TraceStore {
+ public:
+  explicit TraceStore(int nranks);
+
+  /// Appends a record to (rank, level) and returns its index, which stays
+  /// valid for later resolve_sender() calls.
+  std::size_t append(int rank, Level level, const Record& rec);
+
+  /// Fills in the sender of a previously appended record (wildcard receives
+  /// only learn their sender at match time).
+  void resolve_sender(int rank, Level level, std::size_t index, std::int32_t sender);
+
+  /// Fills in sender and actual byte count of a previously appended record
+  /// (a wildcard receive learns both only when the match happens; the
+  /// record's position — program order — is already correct).
+  void resolve(int rank, Level level, std::size_t index, std::int32_t sender,
+               std::int64_t bytes);
+
+  [[nodiscard]] std::span<const Record> records(int rank, Level level) const;
+  [[nodiscard]] int nranks() const noexcept { return nranks_; }
+
+  /// Total records across all ranks at one level.
+  [[nodiscard]] std::size_t total_records(Level level) const noexcept;
+
+  /// Drops all collected records but keeps the rank count.
+  void clear() noexcept;
+
+ private:
+  [[nodiscard]] std::vector<Record>& stream(int rank, Level level);
+  [[nodiscard]] const std::vector<Record>& stream(int rank, Level level) const;
+
+  int nranks_;
+  // [rank * kNumLevels + level]
+  std::vector<std::vector<Record>> streams_;
+};
+
+}  // namespace mpipred::trace

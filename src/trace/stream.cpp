@@ -1,0 +1,36 @@
+#include "trace/stream.hpp"
+
+namespace mpipred::trace {
+
+Streams extract_streams(const TraceStore& store, int rank, Level level,
+                        const StreamFilter& filter) {
+  Streams out;
+  const auto records = store.records(rank, level);
+  out.senders.reserve(records.size());
+  out.sizes.reserve(records.size());
+  for (const Record& rec : records) {
+    if (filter.kind && rec.kind != *filter.kind) {
+      continue;
+    }
+    if (filter.drop_unresolved && rec.sender == kUnresolvedSender) {
+      continue;
+    }
+    out.senders.push_back(rec.sender);
+    out.sizes.push_back(rec.bytes);
+  }
+  return out;
+}
+
+KindCounts count_kinds(const TraceStore& store, int rank, Level level) {
+  KindCounts counts;
+  for (const Record& rec : store.records(rank, level)) {
+    if (rec.kind == OpKind::PointToPoint) {
+      ++counts.p2p;
+    } else {
+      ++counts.collective;
+    }
+  }
+  return counts;
+}
+
+}  // namespace mpipred::trace

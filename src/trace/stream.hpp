@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "trace/store.hpp"
+
+namespace mpipred::trace {
+
+/// The two value streams the paper predicts for each process: the sequence
+/// of sender ranks and the sequence of message sizes of received messages.
+struct Streams {
+  std::vector<std::int64_t> senders;
+  std::vector<std::int64_t> sizes;
+
+  [[nodiscard]] std::size_t length() const noexcept { return senders.size(); }
+};
+
+/// Options for stream extraction.
+struct StreamFilter {
+  /// Restrict to one message kind (Table 1 separates p2p from collective);
+  /// nullopt takes the full interleaved stream, which is what the paper's
+  /// predictor consumes.
+  std::optional<OpKind> kind{};
+  /// Skip records whose sender was never resolved (defensive; a finished
+  /// run resolves every record).
+  bool drop_unresolved = true;
+};
+
+/// Extracts the sender/size streams seen by `rank` at `level`.
+[[nodiscard]] Streams extract_streams(const TraceStore& store, int rank, Level level,
+                                      const StreamFilter& filter = {});
+
+/// Convenience: number of records of each kind for `rank` at `level`.
+struct KindCounts {
+  std::int64_t p2p = 0;
+  std::int64_t collective = 0;
+};
+[[nodiscard]] KindCounts count_kinds(const TraceStore& store, int rank, Level level);
+
+}  // namespace mpipred::trace

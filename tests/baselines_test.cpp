@@ -1,0 +1,191 @@
+// Baseline predictors (§6 comparison): last-value, order-k Markov, and the
+// cycle heuristic — correctness of each, plus the comparative property the
+// paper claims: the DPD predictor dominates at multi-step horizons on
+// periodic streams.
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "core/accuracy.hpp"
+#include "core/baselines/cycle.hpp"
+#include "core/baselines/last_value.hpp"
+#include "core/baselines/markov.hpp"
+#include "core/stream_predictor.hpp"
+
+namespace mpipred::core {
+namespace {
+
+std::vector<std::int64_t> cycle_stream(std::initializer_list<std::int64_t> pattern,
+                                       std::size_t n) {
+  std::vector<std::int64_t> p(pattern);
+  std::vector<std::int64_t> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(p[i % p.size()]);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ last value --
+
+TEST(LastValue, PredictsLastObservation) {
+  LastValuePredictor p;
+  EXPECT_FALSE(p.predict(1).has_value());
+  p.observe(5);
+  EXPECT_EQ(p.predict(1), 5);
+  EXPECT_EQ(p.predict(5), 5);
+  p.observe(9);
+  EXPECT_EQ(p.predict(3), 9);
+}
+
+TEST(LastValue, PerfectOnConstantStream) {
+  LastValuePredictor p;
+  const auto stream = std::vector<std::int64_t>(100, 42);
+  const auto report = evaluate_with(p, stream, 5);
+  EXPECT_GT(report.at(1).accuracy(), 0.9);
+}
+
+TEST(LastValue, FailsOnAlternation) {
+  LastValuePredictor p;
+  const auto stream = cycle_stream({1, 2}, 100);
+  const auto report = evaluate_with(p, stream, 1);
+  EXPECT_LT(report.at(1).accuracy(), 0.05);  // always one step behind
+}
+
+// ---------------------------------------------------------------- markov --
+
+TEST(Markov, LearnsFirstOrderTransitions) {
+  MarkovPredictor p(1);
+  for (const auto v : cycle_stream({1, 2, 3}, 30)) {
+    p.observe(v);
+  }
+  // After ...,3 the most frequent successor is 1.
+  EXPECT_EQ(p.predict(1), 1);
+  EXPECT_EQ(p.predict(2), 2);  // chained rollout
+  EXPECT_EQ(p.predict(3), 3);
+}
+
+TEST(Markov, NeedsContextBeforePredicting) {
+  MarkovPredictor p(2);
+  p.observe(1);
+  EXPECT_FALSE(p.predict(1).has_value());  // only 1 < order samples
+  p.observe(2);
+  EXPECT_FALSE(p.predict(1).has_value());  // context exists, no transition yet
+}
+
+TEST(Markov, OrderTwoDisambiguatesSharedSymbol) {
+  // Stream: 1 2 1 3 repeated. After "...2 1" comes 3; after "...3 1"
+  // comes 2. Order 1 cannot separate these (context "1" is ambiguous);
+  // order 2 can.
+  const auto stream = cycle_stream({1, 2, 1, 3}, 200);
+  MarkovPredictor o1(1);
+  MarkovPredictor o2(2);
+  const auto r1 = evaluate_with(o1, stream, 1);
+  const auto r2 = evaluate_with(o2, stream, 1);
+  EXPECT_GT(r2.at(1).accuracy(), 0.95);
+  EXPECT_LT(r1.at(1).accuracy(), 0.80);
+}
+
+TEST(Markov, FrequencyWinsOverRecency) {
+  MarkovPredictor p(1);
+  // 1 -> 2 nine times, 1 -> 3 once.
+  for (int i = 0; i < 9; ++i) {
+    p.observe(1);
+    p.observe(2);
+  }
+  p.observe(1);
+  p.observe(3);
+  p.observe(1);
+  EXPECT_EQ(p.predict(1), 2);
+}
+
+TEST(Markov, TableGrowsWithContexts) {
+  MarkovPredictor p(1);
+  for (const auto v : cycle_stream({1, 2, 3, 4, 5}, 50)) {
+    p.observe(v);
+  }
+  EXPECT_EQ(p.table_size(), 5u);
+  p.reset();
+  EXPECT_EQ(p.table_size(), 0u);
+}
+
+// ----------------------------------------------------------------- cycle --
+
+TEST(Cycle, LearnsCycleFromRecurrence) {
+  CyclePredictor p;
+  for (const auto v : cycle_stream({10, 20, 30}, 12)) {
+    p.observe(v);
+  }
+  ASSERT_TRUE(p.cycle().has_value());
+  EXPECT_EQ(*p.cycle(), 3u);
+  EXPECT_EQ(p.predict(1), 10);
+  EXPECT_EQ(p.predict(2), 20);
+}
+
+TEST(Cycle, AccidentalRecurrenceMisleadsIt) {
+  // "1 1 2 3" repeated: the double 1 sets the cycle hypothesis to 1
+  // whenever a 1 repeats — the brittleness the DPD avoids.
+  CyclePredictor p;
+  const auto stream = cycle_stream({1, 1, 2, 3}, 400);
+  const auto report = evaluate_with(p, stream, 1);
+  StreamPredictor dpd;
+  const auto dpd_report = evaluate_with(dpd, stream, 1);
+  EXPECT_LT(report.at(1).accuracy(), dpd_report.at(1).accuracy());
+  EXPECT_GT(dpd_report.at(1).accuracy(), 0.95);
+}
+
+// --------------------------------------------- comparative (paper's §6) --
+
+TEST(Comparison, DpdDominatesAtDeepHorizonsOnPeriodicStreams) {
+  // The paper's argument against next-value heuristics: with the period
+  // known, +5 is as easy as +1; heuristics degrade with horizon.
+  const auto stream = cycle_stream({3, 1, 4, 1, 5, 9, 2, 6}, 2000);
+
+  StreamPredictor dpd;
+  MarkovPredictor markov(1);
+  LastValuePredictor last;
+
+  const auto r_dpd = evaluate_with(dpd, stream, 5);
+  const auto r_markov = evaluate_with(markov, stream, 5);
+  const auto r_last = evaluate_with(last, stream, 5);
+
+  EXPECT_GT(r_dpd.at(5).accuracy(), 0.98);
+  EXPECT_GT(r_dpd.at(5).accuracy(), r_markov.at(5).accuracy());
+  EXPECT_GT(r_dpd.at(5).accuracy(), r_last.at(5).accuracy() + 0.5);
+}
+
+TEST(Comparison, MarkovNeedsMoreTrainingThanDpd) {
+  // §4.2: "statistical models ... require more training time". Measure
+  // samples until the first correct +1 prediction on a period-12 stream
+  // whose symbols repeat *within* the pattern (ambiguous contexts).
+  const auto stream = cycle_stream({1, 2, 1, 3, 1, 4, 1, 5, 1, 6, 1, 7}, 240);
+
+  auto first_correct = [&](Predictor& p) {
+    p.reset();
+    std::size_t t = 0;
+    for (; t + 1 < stream.size(); ++t) {
+      p.observe(stream[t]);
+      const auto pred = p.predict(1);
+      if (pred && *pred == stream[t + 1]) {
+        break;
+      }
+    }
+    return t;
+  };
+
+  StreamPredictor dpd;
+  MarkovPredictor markov3(3);
+  EXPECT_LE(first_correct(dpd), 25u);           // two periods
+  EXPECT_GT(first_correct(markov3), 2u);        // must at least fill context
+  // Over the whole stream, 5-step accuracy: the DPD beats an order-1
+  // Markov model decisively (context "1" is ambiguous), and an order-3
+  // model only ties it by memorizing every 3-gram of the period.
+  MarkovPredictor markov1(1);
+  const auto r_dpd = evaluate_with(dpd, stream, 5);
+  const auto r_markov1 = evaluate_with(markov1, stream, 5);
+  EXPECT_GT(r_dpd.at(5).accuracy(), r_markov1.at(5).accuracy() + 0.2);
+}
+
+}  // namespace
+}  // namespace mpipred::core

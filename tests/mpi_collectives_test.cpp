@@ -1,0 +1,382 @@
+// Every collective validated against a straightforward reference, across
+// power-of-two and odd communicator sizes, plus split() and trace-kind
+// attribution.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mpi/communicator.hpp"
+#include "mpi/typed.hpp"
+#include "mpi/world.hpp"
+#include "trace/stream.hpp"
+
+namespace mpipred::mpi {
+namespace {
+
+class Collectives : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, Collectives, ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16),
+                         [](const auto& info) { return "p" + std::to_string(info.param); });
+
+TEST_P(Collectives, BarrierCompletesEverywhere) {
+  const int p = GetParam();
+  World world(p);
+  int through = 0;
+  world.run([&](Communicator& comm) {
+    comm.barrier();
+    ++through;
+  });
+  EXPECT_EQ(through, p);
+}
+
+TEST_P(Collectives, BarrierSynchronizesTime) {
+  // A rank that computes long before the barrier must drag everyone's
+  // post-barrier clock past its own.
+  const int p = GetParam();
+  if (p < 2) {
+    GTEST_SKIP();
+  }
+  World world(p);
+  std::vector<sim::SimTime> after(static_cast<std::size_t>(p));
+  world.run([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.compute(sim::SimTime{50'000'000});
+    }
+    comm.barrier();
+    after[static_cast<std::size_t>(comm.rank())] = comm.sim_rank().now();
+  });
+  for (const auto t : after) {
+    EXPECT_GE(t, sim::SimTime{50'000'000});
+  }
+}
+
+TEST_P(Collectives, BcastFromEveryRoot) {
+  const int p = GetParam();
+  for (int root = 0; root < p; ++root) {
+    World world(p);
+    std::vector<std::int64_t> got(static_cast<std::size_t>(p));
+    world.run([&](Communicator& comm) {
+      std::int64_t v = (comm.rank() == root) ? 4711 + root : 0;
+      bcast_value(comm, v, root);
+      got[static_cast<std::size_t>(comm.rank())] = v;
+    });
+    for (const auto v : got) {
+      EXPECT_EQ(v, 4711 + root);
+    }
+  }
+}
+
+TEST_P(Collectives, BcastVector) {
+  const int p = GetParam();
+  World world(p);
+  std::vector<std::vector<std::int32_t>> got(static_cast<std::size_t>(p));
+  world.run([&](Communicator& comm) {
+    std::vector<std::int32_t> data(100);
+    if (comm.rank() == 0) {
+      std::iota(data.begin(), data.end(), 7);
+    }
+    bcast_n<std::int32_t>(comm, data, 0);
+    got[static_cast<std::size_t>(comm.rank())] = data;
+  });
+  std::vector<std::int32_t> expect(100);
+  std::iota(expect.begin(), expect.end(), 7);
+  for (const auto& v : got) {
+    EXPECT_EQ(v, expect);
+  }
+}
+
+TEST_P(Collectives, ReduceSumAtEveryRoot) {
+  const int p = GetParam();
+  for (int root = 0; root < p; ++root) {
+    World world(p);
+    std::int64_t result = -1;
+    world.run([&](Communicator& comm) {
+      const std::int64_t mine = comm.rank() + 1;
+      const std::int64_t r = reduce_value(comm, mine, ReduceOp::Sum, root);
+      if (comm.rank() == root) {
+        result = r;
+      }
+    });
+    EXPECT_EQ(result, static_cast<std::int64_t>(p) * (p + 1) / 2) << "root=" << root;
+  }
+}
+
+TEST_P(Collectives, AllreduceSumMinMax) {
+  const int p = GetParam();
+  World world(p);
+  std::vector<std::int64_t> sums(static_cast<std::size_t>(p));
+  std::vector<std::int64_t> mins(static_cast<std::size_t>(p));
+  std::vector<std::int64_t> maxs(static_cast<std::size_t>(p));
+  world.run([&](Communicator& comm) {
+    const std::int64_t mine = 10 * (comm.rank() + 1);
+    sums[static_cast<std::size_t>(comm.rank())] = allreduce_value(comm, mine, ReduceOp::Sum);
+    mins[static_cast<std::size_t>(comm.rank())] = allreduce_value(comm, mine, ReduceOp::Min);
+    maxs[static_cast<std::size_t>(comm.rank())] = allreduce_value(comm, mine, ReduceOp::Max);
+  });
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(sums[static_cast<std::size_t>(r)], 10LL * p * (p + 1) / 2);
+    EXPECT_EQ(mins[static_cast<std::size_t>(r)], 10);
+    EXPECT_EQ(maxs[static_cast<std::size_t>(r)], 10LL * p);
+  }
+}
+
+TEST_P(Collectives, AllreduceVectorDouble) {
+  const int p = GetParam();
+  World world(p);
+  std::vector<std::vector<double>> got(static_cast<std::size_t>(p));
+  world.run([&](Communicator& comm) {
+    std::vector<double> in(50);
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      in[i] = static_cast<double>(comm.rank()) + static_cast<double>(i) * 0.5;
+    }
+    std::vector<double> out(50);
+    allreduce_n<double>(comm, in, out, ReduceOp::Sum);
+    got[static_cast<std::size_t>(comm.rank())] = out;
+  });
+  for (const auto& v : got) {
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      const double expect = static_cast<double>(p) * (p - 1) / 2.0 +
+                            static_cast<double>(p) * static_cast<double>(i) * 0.5;
+      EXPECT_DOUBLE_EQ(v[i], expect);
+    }
+  }
+}
+
+TEST_P(Collectives, GatherCollectsInRankOrder) {
+  const int p = GetParam();
+  World world(p);
+  std::vector<std::int64_t> got;
+  world.run([&](Communicator& comm) {
+    const auto all = gather_value<std::int64_t>(comm, comm.rank() * 3, 0);
+    if (comm.rank() == 0) {
+      got = all;
+    }
+  });
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(got[static_cast<std::size_t>(r)], 3LL * r);
+  }
+}
+
+TEST_P(Collectives, AllgatherEveryRankSeesEverything) {
+  const int p = GetParam();
+  World world(p);
+  std::vector<std::vector<std::int64_t>> got(static_cast<std::size_t>(p));
+  world.run([&](Communicator& comm) {
+    got[static_cast<std::size_t>(comm.rank())] =
+        allgather_value<std::int64_t>(comm, 100 + comm.rank());
+  });
+  for (int r = 0; r < p; ++r) {
+    ASSERT_EQ(got[static_cast<std::size_t>(r)].size(), static_cast<std::size_t>(p));
+    for (int s = 0; s < p; ++s) {
+      EXPECT_EQ(got[static_cast<std::size_t>(r)][static_cast<std::size_t>(s)], 100 + s);
+    }
+  }
+}
+
+TEST_P(Collectives, ScatterDistributesBlocks) {
+  const int p = GetParam();
+  World world(p);
+  std::vector<std::int32_t> got(static_cast<std::size_t>(p), -1);
+  world.run([&](Communicator& comm) {
+    std::vector<std::int32_t> in;
+    if (comm.rank() == 0) {
+      in.resize(static_cast<std::size_t>(p));
+      std::iota(in.begin(), in.end(), 1000);
+    }
+    std::int32_t mine = -1;
+    comm.scatter(std::as_bytes(std::span<const std::int32_t>{in}),
+                 std::as_writable_bytes(std::span{&mine, 1}), 0);
+    got[static_cast<std::size_t>(comm.rank())] = mine;
+  });
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(got[static_cast<std::size_t>(r)], 1000 + r);
+  }
+}
+
+TEST_P(Collectives, AlltoallTransposesBlocks) {
+  const int p = GetParam();
+  World world(p);
+  std::vector<std::vector<std::int32_t>> got(static_cast<std::size_t>(p));
+  world.run([&](Communicator& comm) {
+    // Block sent from r to s carries value 100*r + s.
+    std::vector<std::int32_t> in(static_cast<std::size_t>(p));
+    for (int s = 0; s < p; ++s) {
+      in[static_cast<std::size_t>(s)] = 100 * comm.rank() + s;
+    }
+    std::vector<std::int32_t> out(static_cast<std::size_t>(p));
+    alltoall_n<std::int32_t>(comm, in, out);
+    got[static_cast<std::size_t>(comm.rank())] = out;
+  });
+  for (int r = 0; r < p; ++r) {
+    for (int s = 0; s < p; ++s) {
+      EXPECT_EQ(got[static_cast<std::size_t>(r)][static_cast<std::size_t>(s)], 100 * s + r);
+    }
+  }
+}
+
+TEST_P(Collectives, AlltoallvVariableBlocks) {
+  const int p = GetParam();
+  World world(p);
+  bool ok = true;
+  world.run([&](Communicator& comm) {
+    const int me = comm.rank();
+    // Rank r sends (s+1) values of content r*1000+s to rank s.
+    std::vector<std::int64_t> send_counts(static_cast<std::size_t>(p));
+    std::vector<std::int64_t> recv_counts(static_cast<std::size_t>(p));
+    std::vector<std::int32_t> in;
+    for (int s = 0; s < p; ++s) {
+      send_counts[static_cast<std::size_t>(s)] = s + 1;
+      for (int k = 0; k <= s; ++k) {
+        in.push_back(me * 1000 + s);
+      }
+      recv_counts[static_cast<std::size_t>(s)] = me + 1;
+    }
+    std::vector<std::int32_t> out(static_cast<std::size_t>((me + 1) * p));
+    alltoallv_n<std::int32_t>(comm, in, send_counts, out, recv_counts);
+    for (int s = 0; s < p; ++s) {
+      for (int k = 0; k <= me; ++k) {
+        if (out[static_cast<std::size_t>(s * (me + 1) + k)] != s * 1000 + me) {
+          ok = false;
+        }
+      }
+    }
+  });
+  EXPECT_TRUE(ok);
+}
+
+TEST_P(Collectives, ReduceScatterBlock) {
+  const int p = GetParam();
+  World world(p);
+  std::vector<std::int64_t> got(static_cast<std::size_t>(p), -1);
+  world.run([&](Communicator& comm) {
+    // Contribution of rank r for block s: r + s.
+    std::vector<std::int64_t> in(static_cast<std::size_t>(p));
+    for (int s = 0; s < p; ++s) {
+      in[static_cast<std::size_t>(s)] = comm.rank() + s;
+    }
+    std::int64_t mine = -1;
+    comm.reduce_scatter_block(std::as_bytes(std::span<const std::int64_t>{in}),
+                              std::as_writable_bytes(std::span{&mine, 1}), Datatype::Int64,
+                              ReduceOp::Sum);
+    got[static_cast<std::size_t>(comm.rank())] = mine;
+  });
+  for (int s = 0; s < p; ++s) {
+    // sum over r of (r + s) = p*(p-1)/2 + p*s
+    EXPECT_EQ(got[static_cast<std::size_t>(s)], static_cast<std::int64_t>(p) * (p - 1) / 2 +
+                                                    static_cast<std::int64_t>(p) * s);
+  }
+}
+
+TEST_P(Collectives, InclusiveScan) {
+  const int p = GetParam();
+  World world(p);
+  std::vector<std::int64_t> got(static_cast<std::size_t>(p));
+  world.run([&](Communicator& comm) {
+    got[static_cast<std::size_t>(comm.rank())] =
+        scan_value<std::int64_t>(comm, comm.rank() + 1, ReduceOp::Sum);
+  });
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(got[static_cast<std::size_t>(r)], static_cast<std::int64_t>(r + 1) * (r + 2) / 2);
+  }
+}
+
+TEST_P(Collectives, BackToBackCollectivesDoNotInterfere) {
+  const int p = GetParam();
+  World world(p);
+  bool ok = true;
+  world.run([&](Communicator& comm) {
+    for (int round = 0; round < 20; ++round) {
+      const std::int64_t s = allreduce_value<std::int64_t>(comm, round, ReduceOp::Sum);
+      if (s != static_cast<std::int64_t>(round) * p) {
+        ok = false;
+      }
+      comm.barrier();
+    }
+  });
+  EXPECT_TRUE(ok);
+}
+
+TEST_P(Collectives, InternalMessagesAreTaggedCollective) {
+  const int p = GetParam();
+  if (p < 2) {
+    GTEST_SKIP();
+  }
+  World world(p);
+  world.run([&](Communicator& comm) {
+    std::int64_t v = allreduce_value<std::int64_t>(comm, 1, ReduceOp::Sum);
+    (void)v;
+  });
+  std::size_t coll = 0;
+  std::size_t p2p = 0;
+  for (int r = 0; r < p; ++r) {
+    const auto counts = trace::count_kinds(world.traces(), r, trace::Level::Physical);
+    coll += static_cast<std::size_t>(counts.collective);
+    p2p += static_cast<std::size_t>(counts.p2p);
+  }
+  EXPECT_GT(coll, 0u);
+  EXPECT_EQ(p2p, 0u);
+}
+
+// ------------------------------------------------------------------ split --
+
+TEST(Split, EvenOddGroups) {
+  World world(6);
+  std::vector<int> new_rank(6, -1);
+  std::vector<int> new_size(6, -1);
+  world.run([&](Communicator& comm) {
+    Communicator sub = comm.split(comm.rank() % 2, comm.rank());
+    new_rank[static_cast<std::size_t>(comm.rank())] = sub.rank();
+    new_size[static_cast<std::size_t>(comm.rank())] = sub.size();
+    // The sub-communicator must work: sum of world ranks of my parity.
+    const std::int64_t sum = allreduce_value<std::int64_t>(sub, comm.rank(), ReduceOp::Sum);
+    const std::int64_t expect = comm.rank() % 2 ? 1 + 3 + 5 : 0 + 2 + 4;
+    EXPECT_EQ(sum, expect);
+  });
+  EXPECT_EQ(new_size, (std::vector<int>{3, 3, 3, 3, 3, 3}));
+  EXPECT_EQ(new_rank, (std::vector<int>{0, 0, 1, 1, 2, 2}));
+}
+
+TEST(Split, KeyControlsOrdering) {
+  World world(4);
+  std::vector<int> new_rank(4, -1);
+  world.run([&](Communicator& comm) {
+    // Reverse order via descending keys.
+    Communicator sub = comm.split(0, comm.size() - comm.rank());
+    new_rank[static_cast<std::size_t>(comm.rank())] = sub.rank();
+  });
+  EXPECT_EQ(new_rank, (std::vector<int>{3, 2, 1, 0}));
+}
+
+TEST(Split, UndefinedColorYieldsNullComm) {
+  World world(4);
+  std::vector<bool> null_comm(4, false);
+  world.run([&](Communicator& comm) {
+    Communicator sub =
+        comm.split(comm.rank() == 0 ? Communicator::kUndefinedColor : 0, comm.rank());
+    null_comm[static_cast<std::size_t>(comm.rank())] = sub.is_null();
+  });
+  EXPECT_TRUE(null_comm[0]);
+  EXPECT_FALSE(null_comm[1]);
+}
+
+TEST(Split, NestedSplitsGetDistinctContexts) {
+  World world(8);
+  bool ok = true;
+  world.run([&](Communicator& comm) {
+    Communicator half = comm.split(comm.rank() / 4, comm.rank());
+    Communicator quarter = half.split(half.rank() / 2, half.rank());
+    const std::int64_t s = allreduce_value<std::int64_t>(quarter, comm.rank(), ReduceOp::Sum);
+    // Quarter groups: {0,1},{2,3},{4,5},{6,7} in world ranks.
+    const std::int64_t base = (comm.rank() / 2) * 2;
+    if (s != base + base + 1) {
+      ok = false;
+    }
+  });
+  EXPECT_TRUE(ok);
+}
+
+}  // namespace
+}  // namespace mpipred::mpi

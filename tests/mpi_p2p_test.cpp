@@ -1,0 +1,380 @@
+// Point-to-point semantics of the simulated MPI layer: blocking and
+// nonblocking transfers, wildcards, tags, ordering guarantees, the
+// eager/rendezvous protocol boundary, and the trace hooks.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "mpi/communicator.hpp"
+#include "mpi/typed.hpp"
+#include "mpi/world.hpp"
+#include "trace/stream.hpp"
+
+namespace mpipred::mpi {
+namespace {
+
+using trace::Level;
+
+template <typename T>
+std::vector<T> iota_vec(std::size_t n, T start = T{}) {
+  std::vector<T> v(n);
+  std::iota(v.begin(), v.end(), start);
+  return v;
+}
+
+TEST(P2P, BlockingSendRecvDeliversPayload) {
+  World world(2);
+  std::vector<std::int32_t> got(4);
+  world.run([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      const auto data = iota_vec<std::int32_t>(4, 10);
+      send_n<std::int32_t>(comm, data, 1, 7);
+    } else {
+      const Status st = recv_n<std::int32_t>(comm, got, 0, 7);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 7);
+      EXPECT_EQ(st.bytes, 16);
+    }
+  });
+  EXPECT_EQ(got, iota_vec<std::int32_t>(4, 10));
+}
+
+TEST(P2P, RecvBeforeSendAndAfterSendBothWork) {
+  // Late receiver: the message waits in the unexpected queue. Early
+  // receiver: the recv waits in the posted queue. Both must deliver.
+  for (const bool receiver_first : {true, false}) {
+    World world(2);
+    std::int64_t got = 0;
+    world.run([&](Communicator& comm) {
+      if (comm.rank() == 0) {
+        if (!receiver_first) {
+          comm.compute(sim::SimTime{1'000'000});
+        }
+        send_value<std::int64_t>(comm, 42, 1);
+      } else {
+        if (receiver_first) {
+          comm.compute(sim::SimTime{1'000'000});
+        }
+        got = recv_value<std::int64_t>(comm, 0);
+      }
+    });
+    EXPECT_EQ(got, 42) << "receiver_first=" << receiver_first;
+  }
+}
+
+TEST(P2P, TagsSelectMessages) {
+  World world(2);
+  std::int32_t first = 0;
+  std::int32_t second = 0;
+  world.run([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      send_value<std::int32_t>(comm, 1, 1, /*tag=*/5);
+      send_value<std::int32_t>(comm, 2, 1, /*tag=*/6);
+    } else {
+      // Receive in reverse tag order: matching is by tag, not arrival.
+      second = recv_value<std::int32_t>(comm, 0, /*tag=*/6);
+      first = recv_value<std::int32_t>(comm, 0, /*tag=*/5);
+    }
+  });
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 2);
+}
+
+TEST(P2P, AnySourceMatchesArrivalOrder) {
+  World world(3);
+  std::vector<int> sources;
+  world.run([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 2; ++i) {
+        std::int32_t v = 0;
+        const Status st = comm.recv(std::as_writable_bytes(std::span{&v, 1}), kAnySource, 3);
+        sources.push_back(st.source);
+      }
+    } else {
+      // Rank 2 delays so rank 1 arrives first deterministically.
+      if (comm.rank() == 2) {
+        comm.compute(sim::SimTime{1'000'000});
+      }
+      send_value<std::int32_t>(comm, comm.rank(), 0, 3);
+    }
+  });
+  EXPECT_EQ(sources, (std::vector<int>{1, 2}));
+}
+
+TEST(P2P, AnyTagMatchesUserTagsOnly) {
+  World world(2);
+  Status st{};
+  world.run([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      send_value<std::int32_t>(comm, 9, 1, /*tag=*/42);
+    } else {
+      std::int32_t v = 0;
+      st = comm.recv(std::as_writable_bytes(std::span{&v, 1}), 0, kAnyTag);
+    }
+  });
+  EXPECT_EQ(st.tag, 42);
+}
+
+TEST(P2P, PerPairOrderingHoldsUnderHeavyJitter) {
+  WorldConfig cfg;
+  cfg.engine.network.latency_jitter_cv = 1.0;
+  World world(2, cfg);
+  std::vector<std::int32_t> got;
+  world.run([&](Communicator& comm) {
+    constexpr int kN = 200;
+    if (comm.rank() == 0) {
+      for (std::int32_t i = 0; i < kN; ++i) {
+        send_value<std::int32_t>(comm, i, 1);
+      }
+    } else {
+      for (int i = 0; i < kN; ++i) {
+        got.push_back(recv_value<std::int32_t>(comm, 0));
+      }
+    }
+  });
+  EXPECT_EQ(got, iota_vec<std::int32_t>(200));
+}
+
+TEST(P2P, NonblockingSendRecvCompleteOutOfOrder) {
+  World world(2);
+  std::vector<std::int32_t> a(2);
+  std::vector<std::int32_t> b(2);
+  world.run([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      auto r1 = isend_n<std::int32_t>(comm, std::vector<std::int32_t>{1, 2}, 1, 1);
+      auto r2 = isend_n<std::int32_t>(comm, std::vector<std::int32_t>{3, 4}, 1, 2);
+      r2.wait();
+      r1.wait();
+    } else {
+      auto r2 = irecv_n<std::int32_t>(comm, b, 0, 2);
+      auto r1 = irecv_n<std::int32_t>(comm, a, 0, 1);
+      r1.wait();
+      r2.wait();
+    }
+  });
+  EXPECT_EQ(a, (std::vector<std::int32_t>{1, 2}));
+  EXPECT_EQ(b, (std::vector<std::int32_t>{3, 4}));
+}
+
+TEST(P2P, SendToSelfWorks) {
+  World world(1);
+  std::int32_t got = 0;
+  world.run([&](Communicator& comm) {
+    auto rr = comm.irecv(std::as_writable_bytes(std::span{&got, 1}), 0, 9);
+    send_value<std::int32_t>(comm, 77, 0, 9);
+    rr.wait();
+  });
+  EXPECT_EQ(got, 77);
+}
+
+TEST(P2P, RendezvousTransfersLargePayloads) {
+  WorldConfig cfg;
+  cfg.eager_threshold_bytes = 1024;
+  World world(2, cfg);
+  std::vector<std::int32_t> got(4096);
+  world.run([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      send_n<std::int32_t>(comm, iota_vec<std::int32_t>(4096), 1);
+    } else {
+      recv_n<std::int32_t>(comm, got, 0);
+    }
+  });
+  EXPECT_EQ(got, iota_vec<std::int32_t>(4096));
+  // 16 KiB > 1 KiB threshold: must have used the rendezvous path.
+  EXPECT_EQ(world.endpoint(1).counters().rendezvous_received, 1);
+  EXPECT_EQ(world.endpoint(1).counters().eager_received, 0);
+}
+
+TEST(P2P, EagerAtThresholdRendezvousAbove) {
+  WorldConfig cfg;
+  cfg.eager_threshold_bytes = 64;
+  World world(2, cfg);
+  world.run([&](Communicator& comm) {
+    std::vector<std::byte> buf64(64);
+    std::vector<std::byte> buf65(65);
+    if (comm.rank() == 0) {
+      comm.send(buf64, 1, 1);
+      comm.send(buf65, 1, 2);
+    } else {
+      comm.recv(buf64, 0, 1);
+      comm.recv(buf65, 0, 2);
+    }
+  });
+  EXPECT_EQ(world.endpoint(1).counters().eager_received, 1);
+  EXPECT_EQ(world.endpoint(1).counters().rendezvous_received, 1);
+}
+
+TEST(P2P, RendezvousIsSlowerThanEagerOfSameSize) {
+  // The same payload, once under a generous threshold (eager) and once
+  // under a tiny one (rendezvous): the handshake must cost extra latency.
+  auto time_one = [](std::int64_t threshold) {
+    WorldConfig cfg;
+    cfg.eager_threshold_bytes = threshold;
+    World world(2, cfg);
+    sim::SimTime done{0};
+    world.run([&](Communicator& comm) {
+      std::vector<std::byte> buf(8192);
+      if (comm.rank() == 0) {
+        comm.send(buf, 1, 0);
+      } else {
+        comm.recv(buf, 0, 0);
+        done = comm.sim_rank().now();
+      }
+    });
+    return done;
+  };
+  EXPECT_GT(time_one(64), time_one(1 << 20));
+}
+
+TEST(P2P, TruncationThrows) {
+  World world(2);
+  EXPECT_THROW(world.run([&](Communicator& comm) {
+                 if (comm.rank() == 0) {
+                   std::vector<std::byte> big(128);
+                   comm.send(big, 1, 0);
+                 } else {
+                   std::vector<std::byte> small(16);
+                   comm.recv(small, 0, 0);
+                 }
+               }),
+               UsageError);
+}
+
+TEST(P2P, SendRecvExchangesWithoutDeadlock) {
+  World world(2);
+  std::vector<std::int64_t> got(2, -1);
+  world.run([&](Communicator& comm) {
+    const std::int64_t mine = comm.rank() * 100;
+    std::int64_t theirs = -1;
+    const int peer = 1 - comm.rank();
+    comm.sendrecv(std::as_bytes(std::span{&mine, 1}), peer, 0,
+                  std::as_writable_bytes(std::span{&theirs, 1}), peer, 0);
+    got[static_cast<std::size_t>(comm.rank())] = theirs;
+  });
+  EXPECT_EQ(got[0], 100);
+  EXPECT_EQ(got[1], 0);
+}
+
+TEST(P2P, UnmatchedRecvDeadlocks) {
+  World world(2);
+  EXPECT_THROW(world.run([&](Communicator& comm) {
+                 if (comm.rank() == 0) {
+                   std::int32_t v = 0;
+                   comm.recv(std::as_writable_bytes(std::span{&v, 1}), 1, 0);
+                 }
+               }),
+               DeadlockError);
+}
+
+TEST(P2P, InvalidArgumentsThrow) {
+  World world(2);
+  EXPECT_THROW(world.run([&](Communicator& comm) {
+                 std::int32_t v = 0;
+                 if (comm.rank() == 0) {
+                   comm.send(std::as_bytes(std::span{&v, 1}), 5, 0);  // no such rank
+                 }
+               }),
+               UsageError);
+  World world2(2);
+  EXPECT_THROW(world2.run([&](Communicator& comm) {
+                 std::int32_t v = 0;
+                 if (comm.rank() == 0) {
+                   comm.send(std::as_bytes(std::span{&v, 1}), 1, -3);  // negative tag
+                 }
+               }),
+               UsageError);
+}
+
+// ------------------------------------------------------------- tracing --
+
+TEST(P2PTrace, LogicalRecordsPostOrderPhysicalRecordsArrival) {
+  World world(3);
+  world.run([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      std::int32_t a = 0;
+      std::int32_t b = 0;
+      // Post recv from 1 first, then from 2; but 2's message arrives first
+      // (rank 1 delays before sending).
+      auto r1 = comm.irecv(std::as_writable_bytes(std::span{&a, 1}), 1, 0);
+      auto r2 = comm.irecv(std::as_writable_bytes(std::span{&b, 1}), 2, 0);
+      r1.wait();
+      r2.wait();
+    } else {
+      if (comm.rank() == 1) {
+        comm.compute(sim::SimTime{5'000'000});
+      }
+      send_value<std::int32_t>(comm, comm.rank(), 0, 0);
+    }
+  });
+  const auto logical = trace::extract_streams(world.traces(), 0, Level::Logical);
+  const auto physical = trace::extract_streams(world.traces(), 0, Level::Physical);
+  ASSERT_EQ(logical.senders.size(), 2u);
+  ASSERT_EQ(physical.senders.size(), 2u);
+  EXPECT_EQ(logical.senders, (std::vector<std::int64_t>{1, 2}));   // program order
+  EXPECT_EQ(physical.senders, (std::vector<std::int64_t>{2, 1}));  // arrival order
+}
+
+TEST(P2PTrace, WildcardLogicalSenderIsResolved) {
+  World world(2);
+  world.run([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      std::int32_t v = 0;
+      comm.recv(std::as_writable_bytes(std::span{&v, 1}), kAnySource, kAnyTag);
+    } else {
+      send_value<std::int32_t>(comm, 5, 0, 8);
+    }
+  });
+  const auto recs = world.traces().records(0, Level::Logical);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].sender, 1);
+  EXPECT_EQ(recs[0].bytes, 4);
+}
+
+TEST(P2PTrace, NoiseFreePhysicalOrderEqualsLogicalOrder) {
+  // With zero jitter, both levels must see identical sender sequences for
+  // a deterministic exchange pattern.
+  World world(4);
+  world.run([&](Communicator& comm) {
+    const int p = comm.size();
+    for (int round = 0; round < 5; ++round) {
+      for (int offset = 1; offset < p; ++offset) {
+        const int dst = (comm.rank() + offset) % p;
+        const int src = (comm.rank() - offset + p) % p;
+        std::int64_t in = 0;
+        const std::int64_t outv = comm.rank();
+        comm.sendrecv(std::as_bytes(std::span{&outv, 1}), dst, 0,
+                      std::as_writable_bytes(std::span{&in, 1}), src, 0);
+      }
+    }
+  });
+  for (int r = 0; r < 4; ++r) {
+    const auto logical = trace::extract_streams(world.traces(), r, Level::Logical);
+    const auto physical = trace::extract_streams(world.traces(), r, Level::Physical);
+    EXPECT_EQ(logical.senders, physical.senders) << "rank " << r;
+    EXPECT_EQ(logical.sizes, physical.sizes) << "rank " << r;
+  }
+}
+
+TEST(P2PTrace, CountersTrackUnexpectedBytes) {
+  World world(2);
+  world.run([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::byte> buf(512);
+      comm.send(buf, 1, 0);
+    } else {
+      comm.compute(sim::SimTime{10'000'000});  // let it sit unexpected
+      std::vector<std::byte> buf(512);
+      comm.recv(buf, 0, 0);
+    }
+  });
+  EXPECT_EQ(world.endpoint(1).counters().unexpected_arrivals, 1);
+  EXPECT_EQ(world.endpoint(1).counters().unexpected_bytes_peak, 512);
+  EXPECT_EQ(world.endpoint(1).counters().unexpected_bytes_now, 0);
+}
+
+}  // namespace
+}  // namespace mpipred::mpi

@@ -1,0 +1,174 @@
+// Reduction operator coverage: every (datatype, op) combination against a
+// scalar reference, plus the API contracts (span mismatch, float bitwise
+// rejection).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/error.hpp"
+#include "mpi/ops.hpp"
+
+namespace mpipred::mpi {
+namespace {
+
+template <typename T>
+std::vector<std::byte> to_bytes(const std::vector<T>& v) {
+  std::vector<std::byte> out(v.size() * sizeof(T));
+  std::memcpy(out.data(), v.data(), out.size());
+  return out;
+}
+
+template <typename T>
+std::vector<T> from_bytes(const std::vector<std::byte>& b) {
+  std::vector<T> out(b.size() / sizeof(T));
+  std::memcpy(out.data(), b.data(), b.size());
+  return out;
+}
+
+template <typename T>
+std::vector<T> combine(Datatype dtype, ReduceOp op, const std::vector<T>& in,
+                       const std::vector<T>& inout) {
+  auto ib = to_bytes(in);
+  auto ob = to_bytes(inout);
+  reduce_combine(dtype, op, ib, ob);
+  return from_bytes<T>(ob);
+}
+
+TEST(Ops, SumInt32) {
+  const auto r = combine<std::int32_t>(Datatype::Int32, ReduceOp::Sum, {1, -2, 3}, {10, 20, 30});
+  EXPECT_EQ(r, (std::vector<std::int32_t>{11, 18, 33}));
+}
+
+TEST(Ops, SumInt64LargeValues) {
+  const auto r = combine<std::int64_t>(Datatype::Int64, ReduceOp::Sum, {1LL << 40},
+                                       {(1LL << 40) + 7});
+  EXPECT_EQ(r[0], (1LL << 41) + 7);
+}
+
+TEST(Ops, SumDoubleExact) {
+  const auto r = combine<double>(Datatype::Float64, ReduceOp::Sum, {0.5, 1.25}, {2.0, -0.25});
+  EXPECT_DOUBLE_EQ(r[0], 2.5);
+  EXPECT_DOUBLE_EQ(r[1], 1.0);
+}
+
+TEST(Ops, SumFloat) {
+  const auto r = combine<float>(Datatype::Float32, ReduceOp::Sum, {1.5f}, {2.5f});
+  EXPECT_FLOAT_EQ(r[0], 4.0f);
+}
+
+TEST(Ops, ProdMinMaxInt) {
+  EXPECT_EQ(combine<std::int32_t>(Datatype::Int32, ReduceOp::Prod, {3}, {-4})[0], -12);
+  EXPECT_EQ(combine<std::int32_t>(Datatype::Int32, ReduceOp::Min, {3}, {-4})[0], -4);
+  EXPECT_EQ(combine<std::int32_t>(Datatype::Int32, ReduceOp::Max, {3}, {-4})[0], 3);
+}
+
+TEST(Ops, MinMaxDouble) {
+  EXPECT_DOUBLE_EQ(combine<double>(Datatype::Float64, ReduceOp::Min, {1.5}, {2.5})[0], 1.5);
+  EXPECT_DOUBLE_EQ(combine<double>(Datatype::Float64, ReduceOp::Max, {1.5}, {2.5})[0], 2.5);
+}
+
+TEST(Ops, LogicalAndOr) {
+  EXPECT_EQ(combine<std::int32_t>(Datatype::Int32, ReduceOp::LAnd, {2}, {3})[0], 1);
+  EXPECT_EQ(combine<std::int32_t>(Datatype::Int32, ReduceOp::LAnd, {0}, {3})[0], 0);
+  EXPECT_EQ(combine<std::int32_t>(Datatype::Int32, ReduceOp::LOr, {0}, {0})[0], 0);
+  EXPECT_EQ(combine<std::int32_t>(Datatype::Int32, ReduceOp::LOr, {0}, {5})[0], 1);
+}
+
+TEST(Ops, BitwiseAndOr) {
+  EXPECT_EQ(combine<std::int32_t>(Datatype::Int32, ReduceOp::BAnd, {0b1100}, {0b1010})[0], 0b1000);
+  EXPECT_EQ(combine<std::int32_t>(Datatype::Int32, ReduceOp::BOr, {0b1100}, {0b1010})[0], 0b1110);
+  EXPECT_EQ(combine<std::uint64_t>(Datatype::UInt64, ReduceOp::BAnd, {~0ULL}, {0x0F0FULL})[0],
+            0x0F0FULL);
+}
+
+TEST(Ops, ByteSumWrapsModulo256) {
+  std::vector<std::byte> in{std::byte{200}};
+  std::vector<std::byte> inout{std::byte{100}};
+  reduce_combine(Datatype::Byte, ReduceOp::Sum, in, inout);
+  EXPECT_EQ(std::to_integer<int>(inout[0]), (200 + 100) % 256);
+}
+
+TEST(Ops, RejectsMismatchedSpans) {
+  std::vector<std::byte> a(8);
+  std::vector<std::byte> b(16);
+  EXPECT_THROW(reduce_combine(Datatype::Int64, ReduceOp::Sum, a, b), UsageError);
+}
+
+TEST(Ops, RejectsNonMultipleSize) {
+  std::vector<std::byte> a(7);
+  std::vector<std::byte> b(7);
+  EXPECT_THROW(reduce_combine(Datatype::Int64, ReduceOp::Sum, a, b), UsageError);
+}
+
+TEST(Ops, RejectsBitwiseOnFloats) {
+  std::vector<std::byte> a(8);
+  std::vector<std::byte> b(8);
+  EXPECT_THROW(reduce_combine(Datatype::Float64, ReduceOp::BAnd, a, b), UsageError);
+  EXPECT_THROW(reduce_combine(Datatype::Float32, ReduceOp::BOr,
+                              std::span<const std::byte>(a.data(), 4),
+                              std::span<std::byte>(b.data(), 4)),
+               UsageError);
+}
+
+TEST(Ops, DatatypeSizes) {
+  EXPECT_EQ(datatype_size(Datatype::Byte), 1u);
+  EXPECT_EQ(datatype_size(Datatype::Int32), 4u);
+  EXPECT_EQ(datatype_size(Datatype::Int64), 8u);
+  EXPECT_EQ(datatype_size(Datatype::UInt64), 8u);
+  EXPECT_EQ(datatype_size(Datatype::Float32), 4u);
+  EXPECT_EQ(datatype_size(Datatype::Float64), 8u);
+}
+
+TEST(Ops, DatatypeOfMapsTypes) {
+  EXPECT_EQ(datatype_of_v<std::int32_t>, Datatype::Int32);
+  EXPECT_EQ(datatype_of_v<double>, Datatype::Float64);
+  EXPECT_EQ(datatype_of_v<std::byte>, Datatype::Byte);
+}
+
+// Parameterized commutativity / identity sweep over integer ops.
+class OpsProperty : public ::testing::TestWithParam<ReduceOp> {};
+
+INSTANTIATE_TEST_SUITE_P(AllOps, OpsProperty,
+                         ::testing::Values(ReduceOp::Sum, ReduceOp::Prod, ReduceOp::Min,
+                                           ReduceOp::Max, ReduceOp::LAnd, ReduceOp::LOr,
+                                           ReduceOp::BAnd, ReduceOp::BOr),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case ReduceOp::Sum: return "Sum";
+                             case ReduceOp::Prod: return "Prod";
+                             case ReduceOp::Min: return "Min";
+                             case ReduceOp::Max: return "Max";
+                             case ReduceOp::LAnd: return "LAnd";
+                             case ReduceOp::LOr: return "LOr";
+                             case ReduceOp::BAnd: return "BAnd";
+                             case ReduceOp::BOr: return "BOr";
+                           }
+                           return "unknown";
+                         });
+
+TEST_P(OpsProperty, CommutativeOnInt64) {
+  const ReduceOp op = GetParam();
+  const std::vector<std::int64_t> a{3, 0, -7, 1 << 20};
+  const std::vector<std::int64_t> b{-2, 9, 5, 17};
+  const auto ab = combine<std::int64_t>(Datatype::Int64, op, a, b);
+  const auto ba = combine<std::int64_t>(Datatype::Int64, op, b, a);
+  EXPECT_EQ(ab, ba);
+}
+
+TEST_P(OpsProperty, AssociativeOnInt64) {
+  const ReduceOp op = GetParam();
+  const std::vector<std::int64_t> a{4, -1, 100};
+  const std::vector<std::int64_t> b{7, 3, -50};
+  const std::vector<std::int64_t> c{-9, 12, 6};
+  // (a op b) op c == a op (b op c)
+  const auto left = combine<std::int64_t>(Datatype::Int64, op,
+                                          combine<std::int64_t>(Datatype::Int64, op, a, b), c);
+  const auto right = combine<std::int64_t>(Datatype::Int64, op, a,
+                                           combine<std::int64_t>(Datatype::Int64, op, b, c));
+  EXPECT_EQ(left, right);
+}
+
+}  // namespace
+}  // namespace mpipred::mpi
