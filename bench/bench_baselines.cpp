@@ -4,15 +4,16 @@
 // learns fast and, once the period is known, predicts *several* future
 // values; heuristics predict only the next value well, Markov models need
 // more training and compound errors over the horizon.
+//
+// Every family comes out of the PredictorRegistry; add a name there and it
+// shows up in this table.
 
 #include <cstdio>
-#include <memory>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.hpp"
-#include "core/baselines/cycle.hpp"
-#include "core/baselines/last_value.hpp"
-#include "core/baselines/markov.hpp"
+#include "core/evaluate.hpp"
 
 int main() {
   using namespace mpipred;
@@ -22,6 +23,8 @@ int main() {
     std::printf("    +%d", h);
   }
   std::printf("\n");
+
+  const std::vector<std::string> names = {"dpd", "last-value", "cycle", "markov-1", "markov-2"};
 
   struct Case {
     const char* app;
@@ -33,14 +36,8 @@ int main() {
     const int rep = trace::representative_rank(run.world->traces(), trace::Level::Logical);
     const auto streams = trace::extract_streams(run.world->traces(), rep, trace::Level::Logical);
 
-    std::vector<std::unique_ptr<core::Predictor>> predictors;
-    predictors.push_back(std::make_unique<core::StreamPredictor>());
-    predictors.push_back(std::make_unique<core::LastValuePredictor>());
-    predictors.push_back(std::make_unique<core::CyclePredictor>());
-    predictors.push_back(std::make_unique<core::MarkovPredictor>(1));
-    predictors.push_back(std::make_unique<core::MarkovPredictor>(2));
-
-    for (auto& predictor : predictors) {
+    for (const auto& name : names) {
+      const auto predictor = engine::make_predictor(name);
       const auto report = core::evaluate_with(*predictor, streams.senders, 5);
       std::printf("%-12s %-10s", (std::string(app) + "." + std::to_string(procs)).c_str(),
                   std::string(predictor->name()).c_str());

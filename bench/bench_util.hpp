@@ -5,13 +5,18 @@
 // rows/series of the corresponding paper table or figure.
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "apps/app.hpp"
 #include "apps/registry.hpp"
+#include "common/error.hpp"
 #include "core/evaluate.hpp"
+#include "engine/engine.hpp"
+#include "engine/registry.hpp"
 #include "mpi/world.hpp"
 #include "trace/stats.hpp"
 #include "trace/stream.hpp"
@@ -37,12 +42,48 @@ inline TracedRun run_traced(const std::string& app, int procs,
 
 inline double pct(double x) { return 100.0 * x; }
 
-/// Per-(app, procs) cell of Figures 3/4: accuracy of +1..+5 for both
-/// streams at one level.
-inline core::StreamEvaluation evaluate_level(mpi::World& world, trace::Level level) {
+/// Per-(app, procs) cell of Figures 3/4, routed through the prediction
+/// engine: the representative process's arrivals are demultiplexed and
+/// scored by an engine pass (identical to a hand-wired per-rank
+/// evaluation; feeding only that receiver's events keeps the cost at the
+/// old single-rank level).
+inline core::StreamEvaluation evaluate_level(mpi::World& world, trace::Level level,
+                                             const std::string& predictor = "dpd",
+                                             const engine::PredictorOptions& options = {}) {
   const int rep = trace::representative_rank(world.traces(), level);
-  const auto streams = trace::extract_streams(world.traces(), rep, level);
-  return core::evaluate_streams(streams, core::StreamPredictorConfig{});
+  engine::PredictionEngine eng(engine::EngineConfig{.predictor = predictor, .options = options});
+  eng.observe_all(engine::events_from_rank(world.traces(), rep, level));
+  for (const auto& stream : eng.report().streams) {
+    if (stream.key.destination == rep) {
+      return {.senders = stream.senders, .sizes = stream.sizes};
+    }
+  }
+  // Empty stream (nothing received at this level): zeroed rows, printable
+  // like any other report.
+  core::StreamEvaluation zero;
+  zero.senders.horizons.resize(options.horizon);
+  zero.sizes.horizons.resize(options.horizon);
+  return zero;
+}
+
+/// `--predictor` / `--list-predictors` handling for bench mains: exits on
+/// a listing request, a bad name, or any leftover argument (benches take
+/// nothing else, and a typoed flag must not silently run the default);
+/// otherwise returns the validated name.
+inline std::string predictor_flag(int argc, char** argv, std::string fallback = "dpd") {
+  const auto arg = engine::parse_predictor_arg(argc, argv, std::move(fallback));
+  if (arg.listed) {
+    std::exit(0);
+  }
+  if (!arg.error.empty()) {
+    std::fprintf(stderr, "%s\n", arg.error.c_str());
+    std::exit(1);
+  }
+  if (!arg.rest.empty()) {
+    std::fprintf(stderr, "unexpected argument '%s'\n", arg.rest.front().c_str());
+    std::exit(1);
+  }
+  return arg.name;
 }
 
 inline void print_accuracy_grid_header(const char* what) {

@@ -1,62 +1,81 @@
-// Online use: predict *while* the application runs. Attaches a predictor
-// to one process's physical stream of Sweep3D as messages arrive (replayed
-// in arrival order), printing a rolling hit rate and showing the §2.2-style
-// credits that would have been granted just before each window.
+// Online use: predict *while* the application runs. Replays the physical
+// traces of ALL Sweep3D processes in global delivery order through the
+// prediction engine, which demultiplexes them into one stream per
+// receiving process on the fly. Before each arrival the engine's +1
+// prediction for that stream is scored, the way an MPI library would
+// pre-post a buffer just before the message lands.
 //
-//   $ ./examples/online_prediction
+//   $ ./examples/online_prediction [--predictor <name>]
 
 #include <cstdio>
+#include <map>
+#include <string>
 
 #include "apps/app.hpp"
+#include "engine/engine.hpp"
 #include "mpi/world.hpp"
-#include "scale/window.hpp"
-#include "trace/stats.hpp"
-#include "trace/stream.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mpipred;
+  const auto arg = engine::parse_predictor_arg(argc, argv);
+  if (arg.listed) {
+    return 0;
+  }
+  if (!arg.error.empty()) {
+    std::fprintf(stderr, "%s\n", arg.error.c_str());
+    return 1;
+  }
+  if (!arg.rest.empty()) {
+    std::fprintf(stderr, "unexpected argument '%s'\n", arg.rest.front().c_str());
+    return 1;
+  }
+  const std::string& predictor = arg.name;
+
   std::printf("running sweep3d.6 (Class A)...\n");
   mpi::World world(6, apps::paper_world_config(99));
   (void)apps::run_sweep3d(world, apps::AppConfig{.problem_class = apps::ProblemClass::A});
 
-  const int rank = trace::representative_rank(world.traces(), trace::Level::Physical);
-  const auto streams = trace::extract_streams(world.traces(), rank, trace::Level::Physical);
-  std::printf("replaying the %zu-message physical stream of process %d online...\n\n",
-              streams.length(), rank);
+  const auto events = engine::events_from_trace(world.traces(), trace::Level::Physical);
+  std::printf("replaying %zu physical arrivals across all 6 processes online (%s)...\n\n",
+              events.size(), predictor.c_str());
 
-  scale::JointPredictor predictor;
+  engine::PredictionEngine eng(engine::EngineConfig{.predictor = predictor});
+  std::map<engine::StreamKey, std::int64_t> seen;
   std::int64_t hits = 0;
   std::int64_t total = 0;
   std::int64_t window_hits = 0;
   std::int64_t window_total = 0;
 
-  for (std::size_t i = 0; i < streams.length(); ++i) {
-    // Score the +1 prediction made before this message arrived.
-    if (i > 0) {
-      const auto pair = predictor.predict(1);
-      const bool hit = pair.sender && pair.bytes && *pair.sender == streams.senders[i] &&
-                       *pair.bytes == streams.sizes[i];
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto& event = events[i];
+    // Score the +1 prediction the receiving process's stream held *before*
+    // this message arrived (joint: sender AND size must both be right).
+    // Every arrival after a stream's first counts — the paper's metric,
+    // where a stream with nothing to say scores a miss.
+    const auto key = eng.key_of(event);
+    if (seen[key]++ > 0) {
+      const auto sender = eng.predict_sender(key);
+      const auto size = eng.predict_size(key);
+      const bool hit = sender == event.source && size == event.bytes;
       hits += hit ? 1 : 0;
       window_hits += hit ? 1 : 0;
       ++total;
       ++window_total;
     }
-    predictor.observe(streams.senders[i], streams.sizes[i]);
+    eng.observe(event);
 
-    if (window_total == 64) {
-      std::printf("  messages %5zu..%5zu: rolling (sender,size) hit rate %5.1f%%", i - 63, i,
-                  100.0 * static_cast<double>(window_hits) / static_cast<double>(window_total));
-      std::printf("   granted credits now: ");
-      for (const auto sender : predictor.predicted_senders()) {
-        std::printf("p%lld ", static_cast<long long>(sender));
-      }
-      std::printf("\n");
+    if (window_total == 256) {
+      std::printf("  after %5zu arrivals: rolling (sender,size) hit rate %5.1f%%  (%zu streams)\n",
+                  i + 1, 100.0 * static_cast<double>(window_hits) / 256.0, eng.stream_count());
       window_hits = 0;
       window_total = 0;
     }
   }
-  std::printf("\noverall joint (sender AND size) +1 hit rate: %.1f%% over %lld messages\n",
-              100.0 * static_cast<double>(hits) / static_cast<double>(total),
+  const auto report = eng.report();
+  std::printf("\noverall joint +1 hit rate: %.1f%% over %lld scored arrivals\n",
+              total == 0 ? 0.0 : 100.0 * static_cast<double>(hits) / static_cast<double>(total),
               static_cast<long long>(total));
+  std::printf("engine state: %zu streams, %.1f KiB of predictor memory\n", report.streams.size(),
+              static_cast<double>(report.total_footprint_bytes) / 1024.0);
   return 0;
 }

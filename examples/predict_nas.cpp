@@ -1,23 +1,56 @@
 // End-to-end pipeline on a real workload: run NAS CG on the simulated
-// machine, pull the message streams of one process at both instrumentation
-// levels, and evaluate the paper's +1..+5 prediction accuracy.
+// machine, demultiplex the resulting traces through the prediction engine,
+// and evaluate the paper's +1..+5 prediction accuracy for one process plus
+// the aggregate over every process's stream.
 //
-//   $ ./examples/predict_nas [app] [procs]     (default: cg 8)
+//   $ ./examples/predict_nas [app] [procs] [--predictor <name>]
+//     (default: cg 8 --predictor dpd)
 
 #include <cstdio>
 #include <string>
 
 #include "apps/app.hpp"
 #include "apps/registry.hpp"
-#include "core/evaluate.hpp"
+#include "engine/engine.hpp"
 #include "mpi/world.hpp"
 #include "trace/stats.hpp"
-#include "trace/stream.hpp"
+
+namespace {
+
+void print_report_block(const char* label, const mpipred::core::AccuracyReport& report) {
+  std::printf("  %-8s", label);
+  for (std::size_t h = 1; h <= report.max_horizon(); ++h) {
+    std::printf("  +%zu: %5.1f%%", h, 100.0 * report.at(h).accuracy());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace mpipred;
-  const std::string app = argc > 1 ? argv[1] : "cg";
-  const int procs = argc > 2 ? std::atoi(argv[2]) : 8;
+  const auto predictor_arg = engine::parse_predictor_arg(argc, argv);
+  if (predictor_arg.listed) {
+    return 0;
+  }
+  if (!predictor_arg.error.empty()) {
+    std::fprintf(stderr, "%s\n", predictor_arg.error.c_str());
+    return 1;
+  }
+  const std::string& predictor = predictor_arg.name;
+
+  std::string app = "cg";
+  int procs = 8;
+  if (predictor_arg.rest.size() > 2) {
+    std::fprintf(stderr, "unexpected argument '%s'\n", predictor_arg.rest[2].c_str());
+    return 1;
+  }
+  if (!predictor_arg.rest.empty()) {
+    app = predictor_arg.rest[0];
+  }
+  if (predictor_arg.rest.size() > 1) {
+    procs = std::atoi(predictor_arg.rest[1].c_str());
+  }
 
   const auto& info = apps::find_app(app);
   if (!info.supports(procs)) {
@@ -25,7 +58,8 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("running %s with %d simulated processes (Class A)...\n", app.c_str(), procs);
+  std::printf("running %s with %d simulated processes (Class A), predictor %s...\n", app.c_str(),
+              procs, predictor.c_str());
   mpi::World world(procs, apps::paper_world_config(/*seed=*/42));
   const auto outcome = info.run(world, apps::AppConfig{.problem_class = apps::ProblemClass::A});
   std::printf("  verified: %s, metric: %g\n", outcome.verified ? "yes" : "NO", outcome.metric);
@@ -34,19 +68,22 @@ int main(int argc, char** argv) {
   std::printf("  representative process: %d\n\n", rank);
 
   for (const auto level : {trace::Level::Logical, trace::Level::Physical}) {
-    const auto streams = trace::extract_streams(world.traces(), rank, level);
-    const auto eval = core::evaluate_streams(streams, {});
-    std::printf("%s level (%zu messages):\n", std::string(to_string(level)).c_str(),
-                streams.length());
-    std::printf("  senders:");
-    for (std::size_t h = 1; h <= 5; ++h) {
-      std::printf("  +%zu: %5.1f%%", h, 100.0 * eval.senders.at(h).accuracy());
+    const auto report = engine::run_over_trace(world.traces(), level,
+                                               engine::EngineConfig{.predictor = predictor});
+    std::printf("%s level (%lld messages over %zu streams, predictor state %.1f KiB):\n",
+                std::string(to_string(level)).c_str(), static_cast<long long>(report.events),
+                report.streams.size(), static_cast<double>(report.total_footprint_bytes) / 1024.0);
+    for (const auto& stream : report.streams) {
+      if (stream.key.destination != rank) {
+        continue;
+      }
+      std::printf(" process %d (%lld messages):\n", rank, static_cast<long long>(stream.events));
+      print_report_block("senders:", stream.senders);
+      print_report_block("sizes:", stream.sizes);
     }
-    std::printf("\n  sizes:  ");
-    for (std::size_t h = 1; h <= 5; ++h) {
-      std::printf("  +%zu: %5.1f%%", h, 100.0 * eval.sizes.at(h).accuracy());
-    }
-    std::printf("\n");
+    std::printf(" aggregate over all %d processes:\n", procs);
+    print_report_block("senders:", report.aggregate_senders);
+    print_report_block("sizes:", report.aggregate_sizes);
   }
   std::printf("\n(the logical level is a pure function of the program; the physical level\n"
               " adds the simulated machine's random effects — compare the two blocks)\n");

@@ -60,4 +60,15 @@ void CyclePredictor::reset() {
   total_ = 0;
 }
 
+std::unique_ptr<Predictor> CyclePredictor::clone_fresh() const {
+  return std::make_unique<CyclePredictor>(horizon_, history_);
+}
+
+std::size_t CyclePredictor::footprint_bytes() const {
+  // Red-black tree nodes: payload plus ~3 pointers + color word of overhead.
+  constexpr std::size_t kNodeOverhead = 4 * sizeof(void*);
+  return sizeof(*this) + ring_.capacity() * sizeof(Value) +
+         last_seen_.size() * (sizeof(std::pair<const Value, std::int64_t>) + kNodeOverhead);
+}
+
 }  // namespace mpipred::core

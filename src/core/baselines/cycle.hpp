@@ -26,6 +26,8 @@ class CyclePredictor final : public Predictor {
   [[nodiscard]] std::size_t max_horizon() const override { return horizon_; }
   [[nodiscard]] std::string_view name() const override { return "cycle"; }
   void reset() override;
+  [[nodiscard]] std::unique_ptr<Predictor> clone_fresh() const override;
+  [[nodiscard]] std::size_t footprint_bytes() const override;
 
   /// Current cycle-length hypothesis (distance between the last two
   /// occurrences of the most recent value), if one exists.

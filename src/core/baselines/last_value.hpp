@@ -32,6 +32,12 @@ class LastValuePredictor final : public Predictor {
     last_ = 0;
   }
 
+  [[nodiscard]] std::unique_ptr<Predictor> clone_fresh() const override {
+    return std::make_unique<LastValuePredictor>(horizon_);
+  }
+
+  [[nodiscard]] std::size_t footprint_bytes() const override { return sizeof(*this); }
+
  private:
   std::size_t horizon_;
   Value last_ = 0;

@@ -61,4 +61,21 @@ void MarkovPredictor::reset() {
   recent_.clear();
 }
 
+std::unique_ptr<Predictor> MarkovPredictor::clone_fresh() const {
+  return std::make_unique<MarkovPredictor>(order_, horizon_);
+}
+
+std::size_t MarkovPredictor::footprint_bytes() const {
+  // Transition table: per context a key vector of `order_` values and a
+  // histogram map; count tree-node overhead for both map levels.
+  constexpr std::size_t kNodeOverhead = 4 * sizeof(void*);
+  std::size_t bytes = sizeof(*this) + recent_.size() * sizeof(Value);
+  for (const auto& [ctx, successors] : table_) {
+    bytes += kNodeOverhead + sizeof(ctx) + ctx.capacity() * sizeof(Value);
+    bytes += sizeof(successors) +
+             successors.size() * (sizeof(std::pair<const Value, std::int64_t>) + kNodeOverhead);
+  }
+  return bytes;
+}
+
 }  // namespace mpipred::core

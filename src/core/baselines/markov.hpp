@@ -30,6 +30,8 @@ class MarkovPredictor final : public Predictor {
   [[nodiscard]] std::size_t max_horizon() const override { return horizon_; }
   [[nodiscard]] std::string_view name() const override { return name_; }
   void reset() override;
+  [[nodiscard]] std::unique_ptr<Predictor> clone_fresh() const override;
+  [[nodiscard]] std::size_t footprint_bytes() const override;
 
   [[nodiscard]] std::size_t order() const noexcept { return order_; }
   /// Number of distinct contexts in the transition table.

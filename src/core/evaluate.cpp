@@ -2,6 +2,20 @@
 
 namespace mpipred::core {
 
+AccuracyReport evaluate_stream_with(const Predictor& prototype,
+                                    std::span<const std::int64_t> stream, std::size_t horizon) {
+  const auto predictor = prototype.clone_fresh();
+  return evaluate_with(*predictor, stream, horizon);
+}
+
+StreamEvaluation evaluate_streams_with(const Predictor& prototype, const trace::Streams& streams,
+                                       std::size_t horizon) {
+  StreamEvaluation out;
+  out.senders = evaluate_stream_with(prototype, streams.senders, horizon);
+  out.sizes = evaluate_stream_with(prototype, streams.sizes, horizon);
+  return out;
+}
+
 AccuracyReport evaluate_stream(std::span<const std::int64_t> stream,
                                const StreamPredictorConfig& cfg) {
   StreamPredictor predictor(cfg);
@@ -10,10 +24,8 @@ AccuracyReport evaluate_stream(std::span<const std::int64_t> stream,
 
 StreamEvaluation evaluate_streams(const trace::Streams& streams,
                                   const StreamPredictorConfig& cfg) {
-  StreamEvaluation out;
-  out.senders = evaluate_stream(streams.senders, cfg);
-  out.sizes = evaluate_stream(streams.sizes, cfg);
-  return out;
+  const StreamPredictor prototype(cfg);
+  return evaluate_streams_with(prototype, streams, cfg.horizon);
 }
 
 }  // namespace mpipred::core

@@ -6,13 +6,24 @@
 
 namespace mpipred::core {
 
-/// Accuracy of the DPD predictor on both streams of one process, the unit
-/// plotted in Figures 3 and 4 (sender prediction / message size prediction,
-/// horizons +1 ... +5).
+/// Accuracy of one predictor family on both streams of one process, the
+/// unit plotted in Figures 3 and 4 (sender prediction / message size
+/// prediction, horizons +1 ... +5).
 struct StreamEvaluation {
   AccuracyReport senders;
   AccuracyReport sizes;
 };
+
+/// Evaluates both streams, a fresh clone of `prototype` each — the
+/// single-process slice of what the prediction engine does per stream.
+[[nodiscard]] StreamEvaluation evaluate_streams_with(const Predictor& prototype,
+                                                     const trace::Streams& streams,
+                                                     std::size_t horizon);
+
+/// Evaluates a single value stream with a fresh clone of `prototype`.
+[[nodiscard]] AccuracyReport evaluate_stream_with(const Predictor& prototype,
+                                                  std::span<const std::int64_t> stream,
+                                                  std::size_t horizon);
 
 /// Evaluates both streams with a fresh DPD predictor each.
 [[nodiscard]] StreamEvaluation evaluate_streams(const trace::Streams& streams,

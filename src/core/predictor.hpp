@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string_view>
 
@@ -32,6 +34,16 @@ class Predictor {
 
   /// Forgets all history.
   virtual void reset() = 0;
+
+  /// A fresh predictor of the same concrete type and configuration with no
+  /// observed history — the factory hook the prediction engine uses to
+  /// stamp out one predictor per demultiplexed stream from a prototype.
+  [[nodiscard]] virtual std::unique_ptr<Predictor> clone_fresh() const = 0;
+
+  /// Approximate resident size in bytes (object plus owned heap storage),
+  /// the per-stream cost the engine's memory reports aggregate. Estimates
+  /// are fine; container node overhead may be approximated.
+  [[nodiscard]] virtual std::size_t footprint_bytes() const = 0;
 };
 
 }  // namespace mpipred::core

@@ -45,4 +45,14 @@ std::vector<std::optional<Predictor::Value>> StreamPredictor::predict_all() cons
 
 void StreamPredictor::reset() { detector_.reset(); }
 
+std::unique_ptr<Predictor> StreamPredictor::clone_fresh() const {
+  return std::make_unique<StreamPredictor>(cfg_);
+}
+
+std::size_t StreamPredictor::footprint_bytes() const {
+  // Detector state: the sample ring plus per-lag run and score counters.
+  return sizeof(*this) + cfg_.dpd.window * sizeof(Value) +
+         2 * cfg_.dpd.max_period * sizeof(std::size_t);
+}
+
 }  // namespace mpipred::core

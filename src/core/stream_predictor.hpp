@@ -32,6 +32,8 @@ class StreamPredictor final : public Predictor {
   [[nodiscard]] std::size_t max_horizon() const override { return cfg_.horizon; }
   [[nodiscard]] std::string_view name() const override { return "dpd"; }
   void reset() override;
+  [[nodiscard]] std::unique_ptr<Predictor> clone_fresh() const override;
+  [[nodiscard]] std::size_t footprint_bytes() const override;
 
   /// All horizons at once: index i holds the prediction for +.(i+1).
   [[nodiscard]] std::vector<std::optional<Value>> predict_all() const;

@@ -82,4 +82,13 @@ std::optional<Predictor::Value> WindowedDpdPredictor::predict(std::size_t h) con
   return value_at_lag(lag);
 }
 
+std::unique_ptr<Predictor> WindowedDpdPredictor::clone_fresh() const {
+  return std::make_unique<WindowedDpdPredictor>(cfg_, horizon_);
+}
+
+std::size_t WindowedDpdPredictor::footprint_bytes() const {
+  return sizeof(*this) + ring_.capacity() * sizeof(Value) +
+         last_bad_.capacity() * sizeof(std::int64_t);
+}
+
 }  // namespace mpipred::core

@@ -33,6 +33,8 @@ class WindowedDpdPredictor final : public Predictor {
   [[nodiscard]] std::size_t max_horizon() const override { return horizon_; }
   [[nodiscard]] std::string_view name() const override { return "dpd-window"; }
   void reset() override;
+  [[nodiscard]] std::unique_ptr<Predictor> clone_fresh() const override;
+  [[nodiscard]] std::size_t footprint_bytes() const override;
 
   /// Smallest m with d(m) == 0 over the full window (needs at least
   /// min_confirm_samples comparisons at lag m).

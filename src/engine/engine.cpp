@@ -1,0 +1,163 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace mpipred::engine {
+
+std::string to_string(const StreamKey& key) {
+  const auto part = [](std::int32_t v) {
+    return v == kAnyKey ? std::string("*") : std::to_string(v);
+  };
+  return "src=" + part(key.source) + " dst=" + part(key.destination) + " tag=" + part(key.tag);
+}
+
+/// Both dimensions of one stream: a fresh predictor clone each, wrapped in
+/// the same evaluator a hand-wired single-stream run would use.
+struct PredictionEngine::StreamState {
+  StreamState(const core::Predictor& prototype, std::size_t horizon)
+      : sender_predictor(prototype.clone_fresh()),
+        size_predictor(prototype.clone_fresh()),
+        sender_eval(*sender_predictor, horizon),
+        size_eval(*size_predictor, horizon) {}
+
+  std::unique_ptr<core::Predictor> sender_predictor;
+  std::unique_ptr<core::Predictor> size_predictor;
+  core::AccuracyEvaluator sender_eval;
+  core::AccuracyEvaluator size_eval;
+  std::int64_t events = 0;
+};
+
+PredictionEngine::PredictionEngine(EngineConfig cfg)
+    : cfg_(std::move(cfg)),
+      prototype_(make_predictor(cfg_.predictor, cfg_.options)),
+      horizon_(std::min(cfg_.options.horizon, prototype_->max_horizon())) {
+  MPIPRED_REQUIRE(horizon_ >= 1, "engine horizon must be at least 1");
+}
+
+PredictionEngine::PredictionEngine(const core::Predictor& prototype, KeyPolicy policy)
+    : prototype_(prototype.clone_fresh()), horizon_(prototype.max_horizon()) {
+  cfg_.predictor = std::string(prototype.name());
+  cfg_.options.horizon = horizon_;
+  cfg_.key = policy;
+  MPIPRED_REQUIRE(horizon_ >= 1, "engine horizon must be at least 1");
+}
+
+PredictionEngine::PredictionEngine(PredictionEngine&&) noexcept = default;
+PredictionEngine& PredictionEngine::operator=(PredictionEngine&&) noexcept = default;
+PredictionEngine::~PredictionEngine() = default;
+
+StreamKey PredictionEngine::key_of(const Event& event) const {
+  return {.source = cfg_.key.by_source ? event.source : kAnyKey,
+          .destination = cfg_.key.by_destination ? event.destination : kAnyKey,
+          .tag = cfg_.key.by_tag ? event.tag : kAnyKey};
+}
+
+PredictionEngine::StreamState& PredictionEngine::stream_for(const Event& event) {
+  auto& slot = streams_[key_of(event)];
+  if (!slot) {
+    slot = std::make_unique<StreamState>(*prototype_, horizon_);
+  }
+  return *slot;
+}
+
+void PredictionEngine::observe(const Event& event) {
+  StreamState& stream = stream_for(event);
+  stream.sender_eval.observe(event.source);
+  stream.size_eval.observe(event.bytes);
+  ++stream.events;
+}
+
+void PredictionEngine::observe_all(std::span<const Event> events) {
+  for (const Event& event : events) {
+    observe(event);
+  }
+}
+
+std::optional<core::Predictor::Value> PredictionEngine::predict_sender(const StreamKey& key,
+                                                                       std::size_t h) const {
+  const auto it = streams_.find(key);
+  return it == streams_.end() ? std::nullopt : it->second->sender_predictor->predict(h);
+}
+
+std::optional<core::Predictor::Value> PredictionEngine::predict_size(const StreamKey& key,
+                                                                     std::size_t h) const {
+  const auto it = streams_.find(key);
+  return it == streams_.end() ? std::nullopt : it->second->size_predictor->predict(h);
+}
+
+namespace {
+
+void accumulate(core::AccuracyReport& total, const core::AccuracyReport& part) {
+  if (total.horizons.size() < part.horizons.size()) {
+    total.horizons.resize(part.horizons.size());
+  }
+  for (std::size_t i = 0; i < part.horizons.size(); ++i) {
+    total.horizons[i].hits += part.horizons[i].hits;
+    total.horizons[i].misses += part.horizons[i].misses;
+    total.horizons[i].unpredicted += part.horizons[i].unpredicted;
+  }
+}
+
+}  // namespace
+
+EngineReport PredictionEngine::report() const {
+  EngineReport out;
+  out.streams.reserve(streams_.size());
+  for (const auto& [key, state] : streams_) {
+    StreamReport row;
+    row.key = key;
+    row.events = state->events;
+    row.senders = state->sender_eval.report();
+    row.sizes = state->size_eval.report();
+    row.footprint_bytes =
+        state->sender_predictor->footprint_bytes() + state->size_predictor->footprint_bytes();
+    out.events += row.events;
+    accumulate(out.aggregate_senders, row.senders);
+    accumulate(out.aggregate_sizes, row.sizes);
+    out.total_footprint_bytes += row.footprint_bytes;
+    out.streams.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::vector<Event> events_from_trace(const trace::TraceStore& store, trace::Level level,
+                                     const trace::StreamFilter& filter) {
+  const auto merged = trace::merged_records(store, level, filter);
+  std::vector<Event> out;
+  out.reserve(merged.size());
+  for (const trace::MergedRecord& rec : merged) {
+    out.push_back({.source = rec.sender,
+                   .destination = rec.receiver,
+                   .tag = static_cast<std::int32_t>(rec.kind),
+                   .bytes = rec.bytes});
+  }
+  return out;
+}
+
+std::vector<Event> events_from_rank(const trace::TraceStore& store, int rank,
+                                    trace::Level level, const trace::StreamFilter& filter) {
+  std::vector<Event> out;
+  for (const trace::Record& rec : store.records(rank, level)) {
+    if (!filter.passes(rec)) {
+      continue;
+    }
+    out.push_back({.source = rec.sender,
+                   .destination = rank,
+                   .tag = static_cast<std::int32_t>(rec.kind),
+                   .bytes = rec.bytes});
+  }
+  return out;
+}
+
+EngineReport run_over_trace(const trace::TraceStore& store, trace::Level level,
+                            const EngineConfig& cfg, const trace::StreamFilter& filter) {
+  PredictionEngine engine(cfg);
+  const auto events = events_from_trace(store, level, filter);
+  engine.observe_all(events);
+  return engine.report();
+}
+
+}  // namespace mpipred::engine

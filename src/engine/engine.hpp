@@ -1,0 +1,168 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/accuracy.hpp"
+#include "core/predictor.hpp"
+#include "engine/registry.hpp"
+#include "trace/merge.hpp"
+#include "trace/store.hpp"
+
+namespace mpipred::engine {
+
+/// Wildcard component of a StreamKey: the key policy left this dimension
+/// out, so one stream covers all values of it.
+inline constexpr std::int32_t kAnyKey = -1;
+
+/// One received message of the global trace the engine consumes.
+struct Event {
+  std::int32_t source = 0;
+  std::int32_t destination = 0;
+  /// Free demux dimension. Trace-derived events carry the OpKind here
+  /// (0 = p2p, 1 = collective); synthetic workloads can use real MPI tags.
+  std::int32_t tag = 0;
+  std::int64_t bytes = 0;
+
+  [[nodiscard]] bool operator==(const Event&) const = default;
+};
+
+/// Which event fields demultiplex the trace into streams. The default —
+/// destination only — reproduces the paper's setup: one stream per
+/// receiving process, whose sender sequence and size sequence are the two
+/// predicted dimensions. Keying by source and/or tag as well splits
+/// further (then the sender dimension inside a by-source stream is
+/// constant, and only the size dimension carries information).
+struct KeyPolicy {
+  bool by_source = false;
+  bool by_destination = true;
+  bool by_tag = false;
+
+  /// The paper's per-receiver streams.
+  [[nodiscard]] static KeyPolicy per_receiver() { return {}; }
+  /// Full (source, destination, tag) demultiplexing.
+  [[nodiscard]] static KeyPolicy full() {
+    return {.by_source = true, .by_destination = true, .by_tag = true};
+  }
+};
+
+/// Identity of one demultiplexed stream; dimensions the policy ignores
+/// hold kAnyKey.
+struct StreamKey {
+  std::int32_t source = kAnyKey;
+  std::int32_t destination = kAnyKey;
+  std::int32_t tag = kAnyKey;
+
+  [[nodiscard]] auto operator<=>(const StreamKey&) const = default;
+};
+
+/// "src=3 dst=1 tag=*" — for report rows and error messages.
+[[nodiscard]] std::string to_string(const StreamKey& key);
+
+struct EngineConfig {
+  /// Registry name of the predictor family to instantiate per stream.
+  std::string predictor = "dpd";
+  PredictorOptions options{};
+  KeyPolicy key{};
+};
+
+/// Accuracy and footprint of one stream: what a hand-wired evaluation of
+/// that stream in isolation would report.
+struct StreamReport {
+  StreamKey key{};
+  std::int64_t events = 0;
+  core::AccuracyReport senders;
+  core::AccuracyReport sizes;
+  /// Bytes held by this stream's two predictors.
+  std::size_t footprint_bytes = 0;
+};
+
+/// Per-stream rows plus the element-wise aggregate over all streams.
+struct EngineReport {
+  std::vector<StreamReport> streams;  // sorted by key
+  std::int64_t events = 0;
+  core::AccuracyReport aggregate_senders;
+  core::AccuracyReport aggregate_sizes;
+  std::size_t total_footprint_bytes = 0;
+};
+
+/// Online multi-stream prediction: demultiplexes a global trace of MPI
+/// events into per-key streams and maintains, per stream, one predictor
+/// for the sender-rank dimension and one for the message-size dimension,
+/// scoring every prediction as its target sample arrives (single pass).
+///
+/// Per stream the engine is exactly `AccuracyEvaluator` over a fresh clone
+/// of the prototype, so per-stream numbers match a hand-wired evaluation
+/// of that stream in isolation — the property engine_test pins down.
+class PredictionEngine {
+ public:
+  /// Builds the per-stream prototype through the registry.
+  explicit PredictionEngine(EngineConfig cfg = {});
+
+  /// Uses fresh clones of `prototype` for every stream and dimension.
+  /// config() then reflects only the prototype's name, horizon, and the
+  /// key policy; the remaining options stay at their defaults (a
+  /// predictor's full construction parameters are not recoverable through
+  /// the Predictor interface), so rebuild an equivalent engine from the
+  /// prototype, not from config().
+  PredictionEngine(const core::Predictor& prototype, KeyPolicy policy = {});
+
+  PredictionEngine(PredictionEngine&&) noexcept;
+  PredictionEngine& operator=(PredictionEngine&&) noexcept;
+  ~PredictionEngine();  // out of line: StreamState is incomplete here
+
+  /// Routes one event to its stream; creates the stream on first sight.
+  void observe(const Event& event);
+
+  void observe_all(std::span<const Event> events);
+
+  /// The key `event` routes to under this engine's policy.
+  [[nodiscard]] StreamKey key_of(const Event& event) const;
+
+  [[nodiscard]] std::size_t stream_count() const noexcept { return streams_.size(); }
+
+  /// Predictions for the stream `key`, `h` steps ahead (h = 1 is next).
+  /// nullopt if the stream is unknown or its predictor has no basis yet.
+  [[nodiscard]] std::optional<core::Predictor::Value> predict_sender(const StreamKey& key,
+                                                                     std::size_t h = 1) const;
+  [[nodiscard]] std::optional<core::Predictor::Value> predict_size(const StreamKey& key,
+                                                                   std::size_t h = 1) const;
+
+  /// Accuracy and footprint of everything observed so far.
+  [[nodiscard]] EngineReport report() const;
+
+  [[nodiscard]] const EngineConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct StreamState;
+
+  [[nodiscard]] StreamState& stream_for(const Event& event);
+
+  EngineConfig cfg_;
+  std::unique_ptr<core::Predictor> prototype_;
+  std::size_t horizon_;
+  std::map<StreamKey, std::unique_ptr<StreamState>> streams_;
+};
+
+/// One engine event per merged trace record; the OpKind becomes the tag.
+[[nodiscard]] std::vector<Event> events_from_trace(const trace::TraceStore& store,
+                                                   trace::Level level,
+                                                   const trace::StreamFilter& filter = {});
+
+/// Events of one receiving rank only, in that rank's record order — the
+/// single-receiver slice of events_from_trace() without the global merge.
+[[nodiscard]] std::vector<Event> events_from_rank(const trace::TraceStore& store, int rank,
+                                                  trace::Level level,
+                                                  const trace::StreamFilter& filter = {});
+
+/// Single-call helper: engine pass over one level of a finished trace.
+[[nodiscard]] EngineReport run_over_trace(const trace::TraceStore& store, trace::Level level,
+                                          const EngineConfig& cfg = {},
+                                          const trace::StreamFilter& filter = {});
+
+}  // namespace mpipred::engine

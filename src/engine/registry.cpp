@@ -1,0 +1,143 @@
+#include "engine/registry.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/error.hpp"
+#include "core/baselines/cycle.hpp"
+#include "core/baselines/last_value.hpp"
+#include "core/baselines/markov.hpp"
+#include "core/stream_predictor.hpp"
+#include "core/windowed_dpd.hpp"
+
+namespace mpipred::engine {
+
+PredictorRegistry& PredictorRegistry::instance() {
+  // Function-local static: safely constructed before the first registrar
+  // runs, whatever the translation-unit initialization order.
+  static PredictorRegistry registry;
+  return registry;
+}
+
+void PredictorRegistry::add(std::string name, Factory factory) {
+  const auto [it, inserted] = factories_.emplace(std::move(name), std::move(factory));
+  if (!inserted) {
+    throw UsageError("predictor '" + it->first + "' is already registered");
+  }
+}
+
+bool PredictorRegistry::contains(std::string_view name) const {
+  return factories_.find(name) != factories_.end();
+}
+
+std::unique_ptr<core::Predictor> PredictorRegistry::make(std::string_view name,
+                                                         const PredictorOptions& options) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    std::string known;
+    for (const auto& [known_name, factory] : factories_) {
+      known += known.empty() ? known_name : ", " + known_name;
+    }
+    throw UsageError("unknown predictor '" + std::string(name) + "' (registered: " + known + ")");
+  }
+  return it->second(options);
+}
+
+std::vector<std::string> PredictorRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<std::string> builtin_predictor_names() {
+  return {"dpd", "dpd-window", "cycle", "markov", "last-value"};
+}
+
+std::unique_ptr<core::Predictor> make_predictor(std::string_view name,
+                                                const PredictorOptions& options) {
+  return PredictorRegistry::instance().make(name, options);
+}
+
+PredictorArg parse_predictor_arg(int argc, char** argv, std::string fallback) {
+  PredictorArg out;
+  out.name = std::move(fallback);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--list-predictors") {
+      for (const auto& name : PredictorRegistry::instance().names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      out.listed = true;
+      return out;
+    }
+    if (arg == "--predictor") {
+      if (i + 1 >= argc) {
+        out.error = "--predictor requires a name";
+        return out;
+      }
+      out.name = argv[++i];
+    } else if (arg.starts_with("--predictor=")) {
+      out.name = std::string(arg.substr(std::string_view("--predictor=").size()));
+    } else {
+      out.rest.emplace_back(arg);
+    }
+  }
+  try {
+    (void)make_predictor(out.name);
+  } catch (const UsageError& e) {
+    out.error = e.what();
+  }
+  return out;
+}
+
+// ----------------------------------------------------------------------
+// Built-in registrations. They live in this translation unit (rather than
+// next to each predictor) so that linking the registry always links the
+// factories — a static library would otherwise drop the unreferenced
+// registrar objects together with their object file.
+namespace {
+
+core::StreamPredictorConfig dpd_config(const PredictorOptions& o) {
+  return {.dpd = o.dpd, .horizon = o.horizon, .last_value_fallback = o.last_value_fallback};
+}
+
+const PredictorRegistrar kDpd{"dpd", [](const PredictorOptions& o) {
+                                return std::make_unique<core::StreamPredictor>(dpd_config(o));
+                              }};
+
+// Aliases (issue-spelling names) share the canonical factory object so the
+// two spellings can never drift apart.
+const PredictorRegistry::Factory kWindowedDpdFactory = [](const PredictorOptions& o) {
+  return std::make_unique<core::WindowedDpdPredictor>(o.dpd, o.horizon);
+};
+const PredictorRegistrar kWindowedDpd{"dpd-window", kWindowedDpdFactory};
+const PredictorRegistrar kWindowedDpdAlias{"windowed_dpd", kWindowedDpdFactory};
+
+const PredictorRegistrar kCycle{"cycle", [](const PredictorOptions& o) {
+                                  return std::make_unique<core::CyclePredictor>(o.horizon,
+                                                                                o.cycle_history);
+                                }};
+
+const PredictorRegistrar kMarkov{"markov", [](const PredictorOptions& o) {
+                                   return std::make_unique<core::MarkovPredictor>(o.markov_order,
+                                                                                  o.horizon);
+                                 }};
+const PredictorRegistrar kMarkov1{"markov-1", [](const PredictorOptions& o) {
+                                    return std::make_unique<core::MarkovPredictor>(1, o.horizon);
+                                  }};
+const PredictorRegistrar kMarkov2{"markov-2", [](const PredictorOptions& o) {
+                                    return std::make_unique<core::MarkovPredictor>(2, o.horizon);
+                                  }};
+
+const PredictorRegistry::Factory kLastValueFactory = [](const PredictorOptions& o) {
+  return std::make_unique<core::LastValuePredictor>(o.horizon);
+};
+const PredictorRegistrar kLastValue{"last-value", kLastValueFactory};
+const PredictorRegistrar kLastValueAlias{"last_value", kLastValueFactory};
+
+}  // namespace
+
+}  // namespace mpipred::engine

@@ -1,0 +1,28 @@
+#include "trace/merge.hpp"
+
+#include <algorithm>
+
+namespace mpipred::trace {
+
+std::vector<MergedRecord> merged_records(const TraceStore& store, Level level,
+                                         const StreamFilter& filter) {
+  std::vector<MergedRecord> out;
+  out.reserve(store.total_records(level));
+  for (int rank = 0; rank < store.nranks(); ++rank) {
+    for (const Record& rec : store.records(rank, level)) {
+      if (!filter.passes(rec)) {
+        continue;
+      }
+      out.push_back({.time = rec.time,
+                     .receiver = rank,
+                     .sender = rec.sender,
+                     .bytes = rec.bytes,
+                     .kind = rec.kind});
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const MergedRecord& a, const MergedRecord& b) { return a.time < b.time; });
+  return out;
+}
+
+}  // namespace mpipred::trace

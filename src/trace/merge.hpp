@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/store.hpp"
+#include "trace/stream.hpp"
+
+namespace mpipred::trace {
+
+/// One received message tagged with its receiver: the unit of the global,
+/// cross-rank trace the prediction engine demultiplexes. `time` is post
+/// time at the logical level and delivery time at the physical level.
+struct MergedRecord {
+  sim::SimTime time{0};
+  std::int32_t receiver = 0;
+  std::int32_t sender = kUnresolvedSender;
+  std::int64_t bytes = 0;
+  OpKind kind = OpKind::PointToPoint;
+
+  [[nodiscard]] bool operator==(const MergedRecord&) const = default;
+};
+
+/// Flattens one level of the store into a single stream ordered by time
+/// (stable: records of one rank keep their program/delivery order, so the
+/// per-receiver subsequence is exactly that rank's filtered record stream).
+[[nodiscard]] std::vector<MergedRecord> merged_records(const TraceStore& store, Level level,
+                                                       const StreamFilter& filter = {});
+
+}  // namespace mpipred::trace

@@ -9,10 +9,7 @@ Streams extract_streams(const TraceStore& store, int rank, Level level,
   out.senders.reserve(records.size());
   out.sizes.reserve(records.size());
   for (const Record& rec : records) {
-    if (filter.kind && rec.kind != *filter.kind) {
-      continue;
-    }
-    if (filter.drop_unresolved && rec.sender == kUnresolvedSender) {
+    if (!filter.passes(rec)) {
       continue;
     }
     out.senders.push_back(rec.sender);

@@ -26,6 +26,16 @@ struct StreamFilter {
   /// Skip records whose sender was never resolved (defensive; a finished
   /// run resolves every record).
   bool drop_unresolved = true;
+
+  /// The single filter predicate every extraction path applies, so
+  /// per-rank streams, the global merge, and engine event feeds can never
+  /// disagree on which records count.
+  [[nodiscard]] bool passes(const Record& rec) const noexcept {
+    if (kind && rec.kind != *kind) {
+      return false;
+    }
+    return !(drop_unresolved && rec.sender == kUnresolvedSender);
+  }
 };
 
 /// Extracts the sender/size streams seen by `rank` at `level`.

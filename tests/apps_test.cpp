@@ -246,7 +246,7 @@ TEST(Registry, ExposesAllFiveApps) {
   EXPECT_EQ(all_apps().size(), 5u);
   EXPECT_EQ(find_app("bt").paper_proc_counts, (std::vector<int>{4, 9, 16, 25}));
   EXPECT_EQ(find_app("sweep3d").paper_proc_counts, (std::vector<int>{6, 16, 32}));
-  EXPECT_THROW(find_app("ft"), UsageError);
+  EXPECT_THROW((void)find_app("ft"), UsageError);
 }
 
 TEST(Registry, SupportsChecksAreConsistent) {
