@@ -4,6 +4,7 @@
 // more kernels at Class A under the paper noise profile and prints the
 // rows/series of the corresponding paper table or figure.
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -84,6 +85,51 @@ inline std::string predictor_flag(int argc, char** argv, std::string fallback = 
     std::exit(1);
   }
   return arg.name;
+}
+
+/// Consumes every `<flag> <n>` / `<flag>=<n>` occurrence from `rest` (the
+/// unparsed remainder of parse_predictor_arg) and returns the last value,
+/// or `fallback` when the flag is absent. Exits on a missing or malformed
+/// number, so a typo can never silently run the default.
+inline std::size_t size_flag(std::vector<std::string>& rest, const std::string& flag,
+                             std::size_t fallback) {
+  const auto parse = [&flag](const std::string& text) -> std::size_t {
+    // strtoull would happily wrap a leading '-' and saturate on overflow;
+    // reject both instead of handing the caller a surprise huge count.
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+    if (text.empty() || text.front() == '-' || end == nullptr || *end != '\0' ||
+        errno == ERANGE) {
+      std::fprintf(stderr, "%s requires a non-negative integer, got '%s'\n", flag.c_str(),
+                   text.c_str());
+      std::exit(1);
+    }
+    return static_cast<std::size_t>(value);
+  };
+  std::size_t value = fallback;
+  for (auto it = rest.begin(); it != rest.end();) {
+    if (*it == flag) {
+      if (std::next(it) == rest.end()) {
+        std::fprintf(stderr, "%s requires a value\n", flag.c_str());
+        std::exit(1);
+      }
+      value = parse(*std::next(it));
+      it = rest.erase(it, std::next(it, 2));
+    } else if (it->starts_with(flag + "=")) {
+      value = parse(it->substr(flag.size() + 1));
+      it = rest.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return value;
+}
+
+/// Shared `--shards <n>` handling: engine shard count, 0 = one shard per
+/// hardware thread (the engine default).
+inline std::size_t shards_flag(std::vector<std::string>& rest, std::size_t fallback = 0) {
+  return size_flag(rest, "--shards", fallback);
 }
 
 inline void print_accuracy_grid_header(const char* what) {

@@ -75,7 +75,8 @@ int main(int argc, char** argv) {
   std::printf("\noverall joint +1 hit rate: %.1f%% over %lld scored arrivals\n",
               total == 0 ? 0.0 : 100.0 * static_cast<double>(hits) / static_cast<double>(total),
               static_cast<long long>(total));
-  std::printf("engine state: %zu streams, %.1f KiB of predictor memory\n", report.streams.size(),
+  std::printf("engine state: %zu streams over %zu shards, %.1f KiB of predictor memory\n",
+              report.streams.size(), eng.shard_count(),
               static_cast<double>(report.total_footprint_bytes) / 1024.0);
   return 0;
 }

@@ -3,11 +3,14 @@
 // and evaluate the paper's +1..+5 prediction accuracy for one process plus
 // the aggregate over every process's stream.
 //
-//   $ ./examples/predict_nas [app] [procs] [--predictor <name>]
-//     (default: cg 8 --predictor dpd)
+//   $ ./examples/predict_nas [app] [procs] [--predictor <name>] [--shards <n>]
+//     (default: cg 8 --predictor dpd --shards 0 = one per hardware thread)
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "apps/app.hpp"
 #include "apps/registry.hpp"
@@ -25,11 +28,43 @@ void print_report_block(const char* label, const mpipred::core::AccuracyReport& 
   std::printf("\n");
 }
 
+/// Consumes `--shards <n>` / `--shards=<n>` from `rest`; 0 (the default)
+/// means one engine shard per hardware thread.
+std::size_t take_shards_flag(std::vector<std::string>& rest) {
+  const auto parse = [](const std::string& text) -> std::size_t {
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+    if (text.empty() || text.front() == '-' || *end != '\0' || errno == ERANGE) {
+      std::fprintf(stderr, "--shards requires a non-negative integer, got '%s'\n", text.c_str());
+      std::exit(1);
+    }
+    return static_cast<std::size_t>(value);
+  };
+  std::size_t shards = 0;
+  for (auto it = rest.begin(); it != rest.end();) {
+    if (*it == "--shards") {
+      if (std::next(it) == rest.end()) {
+        std::fprintf(stderr, "--shards requires a value\n");
+        std::exit(1);
+      }
+      shards = parse(*std::next(it));
+      it = rest.erase(it, std::next(it, 2));
+    } else if (it->starts_with("--shards=")) {
+      shards = parse(it->substr(std::string("--shards=").size()));
+      it = rest.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return shards;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace mpipred;
-  const auto predictor_arg = engine::parse_predictor_arg(argc, argv);
+  auto predictor_arg = engine::parse_predictor_arg(argc, argv);
   if (predictor_arg.listed) {
     return 0;
   }
@@ -38,6 +73,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   const std::string& predictor = predictor_arg.name;
+  const std::size_t shards = take_shards_flag(predictor_arg.rest);
 
   std::string app = "cg";
   int procs = 8;
@@ -68,11 +104,13 @@ int main(int argc, char** argv) {
   std::printf("  representative process: %d\n\n", rank);
 
   for (const auto level : {trace::Level::Logical, trace::Level::Physical}) {
-    const auto report = engine::run_over_trace(world.traces(), level,
-                                               engine::EngineConfig{.predictor = predictor});
-    std::printf("%s level (%lld messages over %zu streams, predictor state %.1f KiB):\n",
-                std::string(to_string(level)).c_str(), static_cast<long long>(report.events),
-                report.streams.size(), static_cast<double>(report.total_footprint_bytes) / 1024.0);
+    const auto report = engine::run_over_trace(
+        world.traces(), level, engine::EngineConfig{.predictor = predictor, .shards = shards});
+    std::printf(
+        "%s level (%lld messages over %zu streams on %zu engine shards, state %.1f KiB):\n",
+        std::string(to_string(level)).c_str(), static_cast<long long>(report.events),
+        report.streams.size(), engine::effective_shard_count(shards),
+        static_cast<double>(report.total_footprint_bytes) / 1024.0);
     for (const auto& stream : report.streams) {
       if (stream.key.destination != rank) {
         continue;

@@ -23,14 +23,20 @@ struct HorizonAccuracy {
     const auto t = total();
     return t == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(t);
   }
+
+  [[nodiscard]] bool operator==(const HorizonAccuracy&) const = default;
 };
 
-/// Accuracy per horizon +1 ... +H.
+/// Accuracy per horizon +1 ... +H. Field-wise comparable (all counters are
+/// exact integers), which is what lets the engine-equivalence tests demand
+/// identical — not approximately equal — results from parallel runs.
 struct AccuracyReport {
   std::vector<HorizonAccuracy> horizons;
 
   [[nodiscard]] std::size_t max_horizon() const noexcept { return horizons.size(); }
   [[nodiscard]] const HorizonAccuracy& at(std::size_t h) const { return horizons.at(h - 1); }
+
+  [[nodiscard]] bool operator==(const AccuracyReport&) const = default;
 };
 
 /// Replays a stream through a predictor, scoring every prediction when its

@@ -1,9 +1,11 @@
 #include "engine/engine.hpp"
 
 #include <algorithm>
+#include <thread>
 #include <utility>
 
 #include "common/assert.hpp"
+#include "engine/shard.hpp"
 
 namespace mpipred::engine {
 
@@ -14,27 +16,27 @@ std::string to_string(const StreamKey& key) {
   return "src=" + part(key.source) + " dst=" + part(key.destination) + " tag=" + part(key.tag);
 }
 
-/// Both dimensions of one stream: a fresh predictor clone each, wrapped in
-/// the same evaluator a hand-wired single-stream run would use.
-struct PredictionEngine::StreamState {
-  StreamState(const core::Predictor& prototype, std::size_t horizon)
-      : sender_predictor(prototype.clone_fresh()),
-        size_predictor(prototype.clone_fresh()),
-        sender_eval(*sender_predictor, horizon),
-        size_eval(*size_predictor, horizon) {}
+std::size_t effective_shard_count(std::size_t requested) noexcept {
+  if (requested != 0) {
+    return requested;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
 
-  std::unique_ptr<core::Predictor> sender_predictor;
-  std::unique_ptr<core::Predictor> size_predictor;
-  core::AccuracyEvaluator sender_eval;
-  core::AccuracyEvaluator size_eval;
-  std::int64_t events = 0;
-};
+StreamKey key_for(const Event& event, const KeyPolicy& policy) noexcept {
+  return {.source = policy.by_source ? event.source : kAnyKey,
+          .destination = policy.by_destination ? event.destination : kAnyKey,
+          .tag = policy.by_tag ? event.tag : kAnyKey};
+}
 
 PredictionEngine::PredictionEngine(EngineConfig cfg)
     : cfg_(std::move(cfg)),
       prototype_(make_predictor(cfg_.predictor, cfg_.options)),
       horizon_(std::min(cfg_.options.horizon, prototype_->max_horizon())) {
   MPIPRED_REQUIRE(horizon_ >= 1, "engine horizon must be at least 1");
+  shards_ = std::make_unique<ShardSet>(effective_shard_count(cfg_.shards), *prototype_, horizon_,
+                                       cfg_.key);
 }
 
 PredictionEngine::PredictionEngine(const core::Predictor& prototype, KeyPolicy policy)
@@ -43,6 +45,8 @@ PredictionEngine::PredictionEngine(const core::Predictor& prototype, KeyPolicy p
   cfg_.options.horizon = horizon_;
   cfg_.key = policy;
   MPIPRED_REQUIRE(horizon_ >= 1, "engine horizon must be at least 1");
+  shards_ = std::make_unique<ShardSet>(effective_shard_count(cfg_.shards), *prototype_, horizon_,
+                                       cfg_.key);
 }
 
 PredictionEngine::PredictionEngine(PredictionEngine&&) noexcept = default;
@@ -50,42 +54,27 @@ PredictionEngine& PredictionEngine::operator=(PredictionEngine&&) noexcept = def
 PredictionEngine::~PredictionEngine() = default;
 
 StreamKey PredictionEngine::key_of(const Event& event) const {
-  return {.source = cfg_.key.by_source ? event.source : kAnyKey,
-          .destination = cfg_.key.by_destination ? event.destination : kAnyKey,
-          .tag = cfg_.key.by_tag ? event.tag : kAnyKey};
+  return key_for(event, cfg_.key);
 }
 
-PredictionEngine::StreamState& PredictionEngine::stream_for(const Event& event) {
-  auto& slot = streams_[key_of(event)];
-  if (!slot) {
-    slot = std::make_unique<StreamState>(*prototype_, horizon_);
-  }
-  return *slot;
-}
+std::size_t PredictionEngine::stream_count() const noexcept { return shards_->stream_count(); }
 
-void PredictionEngine::observe(const Event& event) {
-  StreamState& stream = stream_for(event);
-  stream.sender_eval.observe(event.source);
-  stream.size_eval.observe(event.bytes);
-  ++stream.events;
-}
+std::size_t PredictionEngine::shard_count() const noexcept { return shards_->shard_count(); }
 
-void PredictionEngine::observe_all(std::span<const Event> events) {
-  for (const Event& event : events) {
-    observe(event);
-  }
-}
+void PredictionEngine::observe(const Event& event) { shards_->observe_one(event); }
+
+void PredictionEngine::observe_all(std::span<const Event> events) { shards_->feed(events); }
 
 std::optional<core::Predictor::Value> PredictionEngine::predict_sender(const StreamKey& key,
                                                                        std::size_t h) const {
-  const auto it = streams_.find(key);
-  return it == streams_.end() ? std::nullopt : it->second->sender_predictor->predict(h);
+  const StreamState* state = shards_->find(key);
+  return state == nullptr ? std::nullopt : state->sender_predictor->predict(h);
 }
 
 std::optional<core::Predictor::Value> PredictionEngine::predict_size(const StreamKey& key,
                                                                      std::size_t h) const {
-  const auto it = streams_.find(key);
-  return it == streams_.end() ? std::nullopt : it->second->size_predictor->predict(h);
+  const StreamState* state = shards_->find(key);
+  return state == nullptr ? std::nullopt : state->size_predictor->predict(h);
 }
 
 namespace {
@@ -105,20 +94,26 @@ void accumulate(core::AccuracyReport& total, const core::AccuracyReport& part) {
 
 EngineReport PredictionEngine::report() const {
   EngineReport out;
-  out.streams.reserve(streams_.size());
-  for (const auto& [key, state] : streams_) {
+  out.streams.reserve(stream_count());
+  shards_->for_each_stream([&out](const StreamKey& key, const StreamState& state) {
     StreamReport row;
     row.key = key;
-    row.events = state->events;
-    row.senders = state->sender_eval.report();
-    row.sizes = state->size_eval.report();
+    row.events = state.events;
+    row.senders = state.sender_eval.report();
+    row.sizes = state.size_eval.report();
     row.footprint_bytes =
-        state->sender_predictor->footprint_bytes() + state->size_predictor->footprint_bytes();
+        state.sender_predictor->footprint_bytes() + state.size_predictor->footprint_bytes();
+    out.streams.push_back(std::move(row));
+  });
+  // Canonical key order, then aggregate over the sorted rows: integer sums
+  // are order-independent, so the report is identical for any shard count.
+  std::sort(out.streams.begin(), out.streams.end(),
+            [](const StreamReport& a, const StreamReport& b) { return a.key < b.key; });
+  for (const StreamReport& row : out.streams) {
     out.events += row.events;
     accumulate(out.aggregate_senders, row.senders);
     accumulate(out.aggregate_sizes, row.sizes);
     out.total_footprint_bytes += row.footprint_bytes;
-    out.streams.push_back(std::move(row));
   }
   return out;
 }

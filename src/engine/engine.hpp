@@ -1,7 +1,7 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <span>
@@ -17,8 +17,11 @@
 namespace mpipred::engine {
 
 /// Wildcard component of a StreamKey: the key policy left this dimension
-/// out, so one stream covers all values of it.
-inline constexpr std::int32_t kAnyKey = -1;
+/// out, so one stream covers all values of it. Deliberately distinct from
+/// trace::kUnresolvedSender (-1): an unresolved sender fed with
+/// `drop_unresolved = false` is a real key value that must not be rendered
+/// or matched as a wildcard.
+inline constexpr std::int32_t kAnyKey = std::numeric_limits<std::int32_t>::min();
 
 /// One received message of the global trace the engine consumes.
 struct Event {
@@ -69,7 +72,19 @@ struct EngineConfig {
   std::string predictor = "dpd";
   PredictorOptions options{};
   KeyPolicy key{};
+  /// Worker shards the stream table is hash-partitioned across. 0 = one
+  /// per hardware thread; 1 = the sequential path. Any value produces
+  /// byte-identical reports — shards only change who does the work.
+  std::size_t shards = 0;
 };
+
+/// The shard count `requested` resolves to: itself, or the hardware
+/// concurrency (at least 1) when `requested` is 0 (= auto).
+[[nodiscard]] std::size_t effective_shard_count(std::size_t requested) noexcept;
+
+/// The stream `event` belongs to under `policy`; dimensions the policy
+/// ignores collapse to kAnyKey.
+[[nodiscard]] StreamKey key_for(const Event& event, const KeyPolicy& policy) noexcept;
 
 /// Accuracy and footprint of one stream: what a hand-wired evaluation of
 /// that stream in isolation would report.
@@ -80,16 +95,24 @@ struct StreamReport {
   core::AccuracyReport sizes;
   /// Bytes held by this stream's two predictors.
   std::size_t footprint_bytes = 0;
+
+  [[nodiscard]] bool operator==(const StreamReport&) const = default;
 };
 
 /// Per-stream rows plus the element-wise aggregate over all streams.
+/// Field-wise comparable so the engine-equivalence harness can assert that
+/// sharded and sequential runs produce literally the same report.
 struct EngineReport {
   std::vector<StreamReport> streams;  // sorted by key
   std::int64_t events = 0;
   core::AccuracyReport aggregate_senders;
   core::AccuracyReport aggregate_sizes;
   std::size_t total_footprint_bytes = 0;
+
+  [[nodiscard]] bool operator==(const EngineReport&) const = default;
 };
+
+class ShardSet;
 
 /// Online multi-stream prediction: demultiplexes a global trace of MPI
 /// events into per-key streams and maintains, per stream, one predictor
@@ -99,6 +122,16 @@ struct EngineReport {
 /// Per stream the engine is exactly `AccuracyEvaluator` over a fresh clone
 /// of the prototype, so per-stream numbers match a hand-wired evaluation
 /// of that stream in isolation — the property engine_test pins down.
+///
+/// Streams are hash-partitioned across `EngineConfig::shards` worker
+/// shards; large `observe_all()` batches are split by shard and processed
+/// on one thread per shard (no shared mutable state, joined before
+/// return), while `observe()` and small batches run on the caller's
+/// thread. Every stream's event subsequence reaches its predictors in feed
+/// order regardless of shard count, so reports are byte-identical across
+/// shard counts — engine_parallel_test pins that equivalence. Calls on one
+/// engine must not overlap: the engine is internally parallel, not
+/// thread-safe for concurrent callers.
 class PredictionEngine {
  public:
   /// Builds the per-stream prototype through the registry.
@@ -124,7 +157,10 @@ class PredictionEngine {
   /// The key `event` routes to under this engine's policy.
   [[nodiscard]] StreamKey key_of(const Event& event) const;
 
-  [[nodiscard]] std::size_t stream_count() const noexcept { return streams_.size(); }
+  [[nodiscard]] std::size_t stream_count() const noexcept;
+
+  /// Actual number of shards (cfg().shards with 0 resolved to hardware).
+  [[nodiscard]] std::size_t shard_count() const noexcept;
 
   /// Predictions for the stream `key`, `h` steps ahead (h = 1 is next).
   /// nullopt if the stream is unknown or its predictor has no basis yet.
@@ -139,14 +175,10 @@ class PredictionEngine {
   [[nodiscard]] const EngineConfig& config() const noexcept { return cfg_; }
 
  private:
-  struct StreamState;
-
-  [[nodiscard]] StreamState& stream_for(const Event& event);
-
   EngineConfig cfg_;
   std::unique_ptr<core::Predictor> prototype_;
-  std::size_t horizon_;
-  std::map<StreamKey, std::unique_ptr<StreamState>> streams_;
+  std::size_t horizon_ = 1;
+  std::unique_ptr<ShardSet> shards_;
 };
 
 /// One engine event per merged trace record; the OpKind becomes the tag.

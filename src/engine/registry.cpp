@@ -30,15 +30,19 @@ bool PredictorRegistry::contains(std::string_view name) const {
   return factories_.find(name) != factories_.end();
 }
 
+std::string PredictorRegistry::unknown_name_message(std::string_view name) const {
+  std::string known;
+  for (const auto& [known_name, factory] : factories_) {
+    known += known.empty() ? known_name : ", " + known_name;
+  }
+  return "unknown predictor '" + std::string(name) + "' (registered: " + known + ")";
+}
+
 std::unique_ptr<core::Predictor> PredictorRegistry::make(std::string_view name,
                                                          const PredictorOptions& options) const {
   const auto it = factories_.find(name);
   if (it == factories_.end()) {
-    std::string known;
-    for (const auto& [known_name, factory] : factories_) {
-      known += known.empty() ? known_name : ", " + known_name;
-    }
-    throw UsageError("unknown predictor '" + std::string(name) + "' (registered: " + known + ")");
+    throw UsageError(unknown_name_message(name));
   }
   return it->second(options);
 }
@@ -85,10 +89,11 @@ PredictorArg parse_predictor_arg(int argc, char** argv, std::string fallback) {
       out.rest.emplace_back(arg);
     }
   }
-  try {
-    (void)make_predictor(out.name);
-  } catch (const UsageError& e) {
-    out.error = e.what();
+  // Validate by lookup only — never by constructing (and discarding) a
+  // predictor: factories can be arbitrarily expensive.
+  const auto& registry = PredictorRegistry::instance();
+  if (!registry.contains(out.name)) {
+    out.error = registry.unknown_name_message(out.name);
   }
   return out;
 }

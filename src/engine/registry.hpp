@@ -44,6 +44,11 @@ class PredictorRegistry {
 
   [[nodiscard]] bool contains(std::string_view name) const;
 
+  /// "unknown predictor '<name>' (registered: ...)" — the one diagnostic
+  /// both make() and parse_predictor_arg() emit for unknown names, so the
+  /// thrown and returned spellings can never drift apart.
+  [[nodiscard]] std::string unknown_name_message(std::string_view name) const;
+
   /// Constructs a fresh predictor; throws UsageError for unknown names
   /// (the message lists the registered names).
   [[nodiscard]] std::unique_ptr<core::Predictor> make(std::string_view name,

@@ -1,0 +1,190 @@
+#include "engine/shard.hpp"
+
+#include <exception>
+#include <system_error>
+#include <thread>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace mpipred::engine {
+
+std::uint64_t stream_key_hash(const StreamKey& key) noexcept {
+  std::uint64_t x = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(key.source)) << 32) |
+                    static_cast<std::uint32_t>(key.destination);
+  // Spread the tag across all 64 bits before folding it in: a plain shift
+  // would overlap the source/destination ranges and give whole key
+  // families (e.g. dst=65536,tag=0 vs dst=0,tag=1) identical pre-mixes.
+  x ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(key.tag)) * 0xff51afd7ed558ccdULL;
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+namespace {
+
+// Slots per table before the first growth; always a power of two.
+constexpr std::size_t kInitialSlots = 16;
+
+// Batches below this run inline: partitioning plus thread launch costs
+// more than it saves for a handful of events.
+constexpr std::size_t kMinParallelBatch = 2048;
+
+}  // namespace
+
+StreamTable::StreamTable() : slots_(kInitialSlots) {}
+
+StreamState& StreamTable::find_or_create(const StreamKey& key, std::uint64_t hash,
+                                         const core::Predictor& prototype,
+                                         std::size_t horizon) {
+  // Grow at 3/4 load, before probing, so the probe below always finds a
+  // free slot.
+  if ((entries_.size() + 1) * 4 > slots_.size() * 3) {
+    grow();
+  }
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = static_cast<std::size_t>(hash) & mask;
+  while (slots_[i].index != 0) {
+    if (slots_[i].key == key) {
+      return *entries_[slots_[i].index - 1].state;
+    }
+    i = (i + 1) & mask;
+  }
+  entries_.push_back({key, std::make_unique<StreamState>(prototype, horizon)});
+  slots_[i] = {key, static_cast<std::uint32_t>(entries_.size())};
+  return *entries_.back().state;
+}
+
+const StreamState* StreamTable::find(const StreamKey& key, std::uint64_t hash) const noexcept {
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = static_cast<std::size_t>(hash) & mask;
+  while (slots_[i].index != 0) {
+    if (slots_[i].key == key) {
+      return entries_[slots_[i].index - 1].state.get();
+    }
+    i = (i + 1) & mask;
+  }
+  return nullptr;
+}
+
+void StreamTable::grow() {
+  std::vector<Slot> bigger(slots_.size() * 2);
+  const std::size_t mask = bigger.size() - 1;
+  for (const Slot& slot : slots_) {
+    if (slot.index == 0) {
+      continue;
+    }
+    std::size_t i = static_cast<std::size_t>(stream_key_hash(slot.key)) & mask;
+    while (bigger[i].index != 0) {
+      i = (i + 1) & mask;
+    }
+    bigger[i] = slot;
+  }
+  slots_ = std::move(bigger);
+}
+
+void EngineShard::observe(const Event& event, const StreamKey& key, std::uint64_t hash) {
+  StreamState& stream = table_.find_or_create(key, hash, *prototype_, horizon_);
+  stream.sender_eval.observe(event.source);
+  stream.size_eval.observe(event.bytes);
+  ++stream.events;
+}
+
+void EngineShard::drain(const KeyPolicy& policy) {
+  for (const Event& event : batch_) {
+    const StreamKey key = key_for(event, policy);
+    observe(event, key, stream_key_hash(key));
+  }
+  batch_.clear();
+}
+
+ShardSet::ShardSet(std::size_t shards, const core::Predictor& prototype, std::size_t horizon,
+                   KeyPolicy policy)
+    : policy_(policy) {
+  MPIPRED_REQUIRE(shards >= 1, "engine needs at least one shard");
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    shards_.emplace_back(prototype, horizon);
+  }
+}
+
+std::size_t ShardSet::shard_index(std::uint64_t hash) const noexcept {
+  // Range-reduce the *high* half of the hash: the table probes use the low
+  // bits, so the two picks stay independent and per-shard tables keep full
+  // bucket entropy.
+  return static_cast<std::size_t>(((hash >> 32) * shards_.size()) >> 32);
+}
+
+void ShardSet::observe_one(const Event& event) {
+  const StreamKey key = key_for(event, policy_);
+  const std::uint64_t hash = stream_key_hash(key);
+  shards_[shard_index(hash)].observe(event, key, hash);
+}
+
+void ShardSet::feed(std::span<const Event> events) {
+  if (shards_.size() == 1 || events.size() < kMinParallelBatch) {
+    for (const Event& event : events) {
+      observe_one(event);
+    }
+    return;
+  }
+  // A previous feed that threw (allocation failure mid-partition or
+  // mid-drain) may have left stale queued events behind; drop them rather
+  // than silently replaying them into the predictors twice.
+  for (EngineShard& shard : shards_) {
+    shard.batch().clear();
+  }
+  // Partition in feed order: each stream's subsequence lands in exactly
+  // one shard's queue, already ordered — workers never race on a stream.
+  for (const Event& event : events) {
+    shards_[shard_index(stream_key_hash(key_for(event, policy_)))].batch().push_back(event);
+  }
+  std::vector<std::exception_ptr> errors(shards_.size());
+  const auto drain_into = [this, &errors](std::size_t s) {
+    try {
+      shards_[s].drain(policy_);
+    } catch (...) {
+      errors[s] = std::current_exception();
+    }
+  };
+  std::vector<std::thread> workers;
+  workers.reserve(shards_.size() - 1);
+  for (std::size_t s = 1; s < shards_.size(); ++s) {
+    if (shards_[s].batch().empty()) {
+      continue;
+    }
+    try {
+      workers.emplace_back(drain_into, s);
+    } catch (const std::system_error&) {
+      // Thread exhaustion must not lose work (or std::terminate via a
+      // joinable thread's destructor during unwinding): run this shard on
+      // the caller's thread instead.
+      drain_into(s);
+    }
+  }
+  drain_into(0);
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  for (const std::exception_ptr& error : errors) {
+    if (error) {
+      std::rethrow_exception(error);
+    }
+  }
+}
+
+const StreamState* ShardSet::find(const StreamKey& key) const noexcept {
+  const std::uint64_t hash = stream_key_hash(key);
+  return shards_[shard_index(hash)].table().find(key, hash);
+}
+
+std::size_t ShardSet::stream_count() const noexcept {
+  std::size_t count = 0;
+  for (const EngineShard& shard : shards_) {
+    count += shard.table().size();
+  }
+  return count;
+}
+
+}  // namespace mpipred::engine

@@ -1,0 +1,158 @@
+#pragma once
+
+// The parallel substrate of PredictionEngine: per-stream state, an
+// open-addressing stream table, and the shard set that hash-partitions
+// streams across worker threads. Split out of engine.cpp so the table and
+// partitioning are unit-testable and reusable (trace replay, src/scale
+// routing) without going through a full engine.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/accuracy.hpp"
+#include "core/predictor.hpp"
+#include "engine/engine.hpp"
+
+namespace mpipred::engine {
+
+/// Both dimensions of one demultiplexed stream: a fresh predictor clone
+/// each, wrapped in the same evaluator a hand-wired single-stream run
+/// would use.
+struct StreamState {
+  StreamState(const core::Predictor& prototype, std::size_t horizon)
+      : sender_predictor(prototype.clone_fresh()),
+        size_predictor(prototype.clone_fresh()),
+        sender_eval(*sender_predictor, horizon),
+        size_eval(*size_predictor, horizon) {}
+
+  std::unique_ptr<core::Predictor> sender_predictor;
+  std::unique_ptr<core::Predictor> size_predictor;
+  core::AccuracyEvaluator sender_eval;
+  core::AccuracyEvaluator size_eval;
+  std::int64_t events = 0;
+};
+
+/// Deterministic 64-bit mix of all three key dimensions (splitmix64
+/// finalizer). The low bits index a StreamTable; the high bits pick the
+/// shard, so shard selection never starves table buckets of entropy.
+[[nodiscard]] std::uint64_t stream_key_hash(const StreamKey& key) noexcept;
+
+/// Open-addressing (linear-probing, power-of-two capacity) map from
+/// StreamKey to StreamState. States live behind stable heap pointers, so
+/// references returned by find_or_create survive growth; entries() walks
+/// insertion order, which is deterministic for a deterministic feed.
+class StreamTable {
+ public:
+  struct Entry {
+    StreamKey key{};
+    std::unique_ptr<StreamState> state;
+  };
+
+  StreamTable();
+
+  /// The state of `key`, created from `prototype` on first sight. The
+  /// hash-taking overloads let callers that already hashed the key (for
+  /// shard routing) skip a recomputation on the per-event path.
+  StreamState& find_or_create(const StreamKey& key, std::uint64_t hash,
+                              const core::Predictor& prototype, std::size_t horizon);
+  StreamState& find_or_create(const StreamKey& key, const core::Predictor& prototype,
+                              std::size_t horizon) {
+    return find_or_create(key, stream_key_hash(key), prototype, horizon);
+  }
+
+  /// nullptr for keys never observed.
+  [[nodiscard]] const StreamState* find(const StreamKey& key, std::uint64_t hash) const noexcept;
+  [[nodiscard]] const StreamState* find(const StreamKey& key) const noexcept {
+    return find(key, stream_key_hash(key));
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  [[nodiscard]] std::span<const Entry> entries() const noexcept { return entries_; }
+
+ private:
+  void grow();
+
+  struct Slot {
+    StreamKey key{};
+    std::uint32_t index = 0;  // 0 = empty, else entries_[index - 1]
+  };
+
+  std::vector<Slot> slots_;
+  std::vector<Entry> entries_;
+};
+
+/// One worker shard: its partition of the stream table plus the reusable
+/// batch buffer the feed loop fills for it. A shard is only ever touched
+/// by one thread at a time.
+class EngineShard {
+ public:
+  EngineShard(const core::Predictor& prototype, std::size_t horizon)
+      : prototype_(&prototype), horizon_(horizon) {}
+
+  /// Routes one event into this shard's table; `key`/`hash` are the
+  /// event's precomputed stream key and its hash (already needed for
+  /// shard routing — recomputing them per event would double the
+  /// demux cost this layer exists to cut).
+  void observe(const Event& event, const StreamKey& key, std::uint64_t hash);
+
+  /// Processes the queued batch in order, then clears it (keeping its
+  /// capacity for the next feed).
+  void drain(const KeyPolicy& policy);
+
+  [[nodiscard]] std::vector<Event>& batch() noexcept { return batch_; }
+  [[nodiscard]] const StreamTable& table() const noexcept { return table_; }
+
+ private:
+  const core::Predictor* prototype_;
+  std::size_t horizon_;
+  StreamTable table_;
+  std::vector<Event> batch_;
+};
+
+/// Fixed set of shards hash-partitioning the stream space. feed() is the
+/// batched path: events are queued per shard, then all non-empty shards
+/// drain concurrently (one thread each, caller's thread included) and are
+/// joined before feed returns; observe_one() is the online path on the
+/// caller's thread. Because a stream lives in exactly one shard and each
+/// shard consumes its queue in feed order, results never depend on shard
+/// count or thread interleaving.
+class ShardSet {
+ public:
+  /// `prototype` must outlive the set (the engine owns it).
+  ShardSet(std::size_t shards, const core::Predictor& prototype, std::size_t horizon,
+           KeyPolicy policy);
+
+  void observe_one(const Event& event);
+
+  /// Blocks until every event is observed. If it throws (allocation
+  /// failure in a predictor or queue), stream state is partially updated;
+  /// unprocessed queued events are dropped by the next feed, never
+  /// replayed.
+  void feed(std::span<const Event> events);
+
+  [[nodiscard]] const StreamState* find(const StreamKey& key) const noexcept;
+  [[nodiscard]] std::size_t stream_count() const noexcept;
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+
+  /// Visits every stream (shard-major, insertion order within a shard —
+  /// callers needing a canonical order sort afterwards).
+  template <typename Fn>
+  void for_each_stream(Fn&& fn) const {
+    for (const EngineShard& shard : shards_) {
+      for (const StreamTable::Entry& entry : shard.table().entries()) {
+        fn(entry.key, *entry.state);
+      }
+    }
+  }
+
+ private:
+  [[nodiscard]] std::size_t shard_index(std::uint64_t hash) const noexcept;
+
+  KeyPolicy policy_;
+  std::vector<EngineShard> shards_;
+};
+
+}  // namespace mpipred::engine

@@ -156,6 +156,37 @@ TEST(PredictionEngine, PrototypeConstructorUsesClones) {
   EXPECT_EQ(engine.config().predictor, "dpd");
 }
 
+TEST(PredictionEngine, UnresolvedSenderIsNotAWildcardStream) {
+  // Regression: kAnyKey used to be -1, colliding with
+  // trace::kUnresolvedSender — a drop_unresolved = false feed keyed
+  // by_source rendered an unresolved stream as the wildcard "src=*".
+  static_assert(kAnyKey != trace::kUnresolvedSender);
+
+  trace::TraceStore store(2);
+  store.append(1, trace::Level::Logical,
+               {.time = sim::SimTime{1}, .sender = trace::kUnresolvedSender, .bytes = 8});
+  store.append(1, trace::Level::Logical, {.time = sim::SimTime{2}, .sender = 0, .bytes = 8});
+  const auto events =
+      events_from_trace(store, trace::Level::Logical, {.drop_unresolved = false});
+  ASSERT_EQ(events.size(), 2u);
+
+  EngineConfig cfg;
+  cfg.key = {.by_source = true, .by_destination = true, .by_tag = false};
+  PredictionEngine engine(cfg);
+  engine.observe_all(events);
+
+  const auto report = engine.report();
+  ASSERT_EQ(report.streams.size(), 2u);  // unresolved and sender-0 stay distinct
+  const auto& unresolved = report.streams.front();  // -1 sorts before 0
+  EXPECT_EQ(unresolved.key.source, trace::kUnresolvedSender);
+  EXPECT_NE(unresolved.key.source, kAnyKey);
+  EXPECT_EQ(to_string(unresolved.key), "src=-1 dst=1 tag=*");  // literal -1, not "*"
+
+  // A genuinely wildcard dimension still renders as "*".
+  EXPECT_EQ(to_string(StreamKey{.source = kAnyKey, .destination = 1, .tag = kAnyKey}),
+            "src=* dst=1 tag=*");
+}
+
 TEST(PredictionEngine, EventsFromRankIsTheReceiverSliceOfTheMerge) {
   mpi::World world(4, apps::paper_world_config(3));
   (void)apps::run_sweep3d(world, apps::AppConfig{.problem_class = apps::ProblemClass::Toy});

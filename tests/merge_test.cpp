@@ -1,0 +1,121 @@
+// trace/merge edge cases, exercised directly (previously only covered
+// indirectly through engine_test): empty stores, single streams, delivery
+// time ties, and filter interaction with the stable global sort.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/merge.hpp"
+#include "trace/store.hpp"
+#include "trace/stream.hpp"
+
+namespace mpipred::trace {
+namespace {
+
+Record make(std::int64_t t, std::int32_t sender, std::int64_t bytes,
+            OpKind kind = OpKind::PointToPoint) {
+  return Record{.time = sim::SimTime{t}, .sender = sender, .bytes = bytes, .kind = kind};
+}
+
+TEST(MergedRecords, EmptyStoreYieldsEmptyMerge) {
+  const TraceStore store(4);
+  for (const auto level : {Level::Logical, Level::Physical}) {
+    EXPECT_TRUE(merged_records(store, level).empty());
+  }
+}
+
+TEST(MergedRecords, LevelsAreIndependent) {
+  TraceStore store(2);
+  store.append(0, Level::Logical, make(1, 1, 10));
+  EXPECT_EQ(merged_records(store, Level::Logical).size(), 1u);
+  EXPECT_TRUE(merged_records(store, Level::Physical).empty());
+}
+
+TEST(MergedRecords, SingleStreamIsThatRanksRecordsVerbatim) {
+  TraceStore store(3);
+  // Deliberately non-monotonic times: the merge sorts globally by time,
+  // even within one rank.
+  store.append(1, Level::Physical, make(5, 0, 100));
+  store.append(1, Level::Physical, make(2, 2, 200));
+  store.append(1, Level::Physical, make(9, 0, 300));
+
+  const auto merged = merged_records(store, Level::Physical);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].time, sim::SimTime{2});
+  EXPECT_EQ(merged[1].time, sim::SimTime{5});
+  EXPECT_EQ(merged[2].time, sim::SimTime{9});
+  for (const auto& rec : merged) {
+    EXPECT_EQ(rec.receiver, 1);
+  }
+}
+
+TEST(MergedRecords, TiesKeepRankThenProgramOrder) {
+  TraceStore store(3);
+  // All at the same delivery time: the stable sort must keep rank-major
+  // append order — rank 0's records first, each rank's program order intact.
+  store.append(2, Level::Logical, make(7, 20, 1));
+  store.append(2, Level::Logical, make(7, 21, 2));
+  store.append(0, Level::Logical, make(7, 1, 3));
+  store.append(1, Level::Logical, make(7, 10, 4));
+  store.append(0, Level::Logical, make(7, 2, 5));
+
+  const auto merged = merged_records(store, Level::Logical);
+  ASSERT_EQ(merged.size(), 5u);
+  const std::vector<std::int32_t> receivers{0, 0, 1, 2, 2};
+  const std::vector<std::int32_t> senders{1, 2, 10, 20, 21};
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i].receiver, receivers[i]) << i;
+    EXPECT_EQ(merged[i].sender, senders[i]) << i;
+  }
+}
+
+TEST(MergedRecords, TieBetweenRanksDoesNotReorderDistinctTimes) {
+  TraceStore store(2);
+  store.append(0, Level::Physical, make(1, 1, 10));
+  store.append(0, Level::Physical, make(3, 1, 11));
+  store.append(1, Level::Physical, make(3, 2, 12));
+  store.append(1, Level::Physical, make(2, 2, 13));
+
+  const auto merged = merged_records(store, Level::Physical);
+  ASSERT_EQ(merged.size(), 4u);
+  // t=2 (rank 1) sorts between rank 0's t=1 and t=3; the two t=3 records
+  // keep rank order: rank 0 before rank 1.
+  EXPECT_EQ(merged[0].bytes, 10);
+  EXPECT_EQ(merged[1].bytes, 13);
+  EXPECT_EQ(merged[2].bytes, 11);
+  EXPECT_EQ(merged[3].bytes, 12);
+}
+
+TEST(MergedRecords, FilterDropsKindsAndUnresolvedBeforeTheSort) {
+  TraceStore store(2);
+  store.append(0, Level::Logical, make(1, 3, 10, OpKind::Collective));
+  store.append(0, Level::Logical, make(2, kUnresolvedSender, 20));
+  store.append(1, Level::Logical, make(3, 4, 30));
+
+  // Default filter: unresolved senders dropped, both kinds kept.
+  auto merged = merged_records(store, Level::Logical);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].kind, OpKind::Collective);
+  EXPECT_EQ(merged[1].sender, 4);
+
+  // Kind filter composes with the unresolved drop.
+  merged = merged_records(store, Level::Logical, {.kind = OpKind::PointToPoint});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].sender, 4);
+
+  // Keeping unresolved records surfaces the sentinel untouched.
+  merged = merged_records(store, Level::Logical, {.drop_unresolved = false});
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[1].sender, kUnresolvedSender);
+}
+
+TEST(MergedRecords, AllRecordsFilteredYieldsEmpty) {
+  TraceStore store(1);
+  store.append(0, Level::Logical, make(1, kUnresolvedSender, 10));
+  EXPECT_TRUE(merged_records(store, Level::Logical).empty());
+}
+
+}  // namespace
+}  // namespace mpipred::trace

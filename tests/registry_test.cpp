@@ -8,6 +8,7 @@
 #include <set>
 
 #include "common/error.hpp"
+#include "core/baselines/last_value.hpp"
 #include "core/baselines/markov.hpp"
 #include "core/stream_predictor.hpp"
 #include "engine/registry.hpp"
@@ -118,6 +119,55 @@ TEST(PredictorRegistry, ParsePredictorArg) {
   const auto unknown = run({"--predictor", "bogus"});
   EXPECT_NE(unknown.error.find("bogus"), std::string::npos);
   EXPECT_NE(unknown.error.find("dpd"), std::string::npos);  // lists names
+}
+
+// Counts constructions of the factory registered by
+// ParseValidatesWithoutConstructing below.
+int g_counting_factory_constructions = 0;
+
+TEST(PredictorRegistry, ParseValidatesWithoutConstructing) {
+  // Register exactly once, so in-process repeats (--gtest_repeat) don't
+  // trip the duplicate-name check; assertions below use deltas for the
+  // same reason.
+  [[maybe_unused]] static const bool registered = [] {
+    PredictorRegistry::instance().add("test-counting", [](const PredictorOptions& o) {
+      ++g_counting_factory_constructions;
+      return std::make_unique<core::LastValuePredictor>(o.horizon);
+    });
+    return true;
+  }();
+  const int before = g_counting_factory_constructions;
+
+  const auto run = [](std::vector<const char*> argv) {
+    argv.insert(argv.begin(), "prog");
+    return parse_predictor_arg(static_cast<int>(argv.size()), const_cast<char**>(argv.data()));
+  };
+
+  // A valid name parses clean by registry lookup alone — the factory is
+  // never invoked (it used to be constructed and discarded).
+  const auto valid = run({"--predictor", "test-counting"});
+  EXPECT_TRUE(valid.error.empty());
+  EXPECT_EQ(valid.name, "test-counting");
+  EXPECT_EQ(g_counting_factory_constructions, before);
+
+  // An unknown name produces the registry's listed-names error, still
+  // without constructing anything.
+  const auto unknown = run({"--predictor", "no-such-name"});
+  EXPECT_NE(unknown.error.find("no-such-name"), std::string::npos);
+  EXPECT_NE(unknown.error.find("test-counting"), std::string::npos);
+  EXPECT_EQ(g_counting_factory_constructions, before);
+
+  // The parse error is the same message make() throws: one builder.
+  try {
+    (void)make_predictor("no-such-name");
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& e) {
+    EXPECT_EQ(unknown.error, e.what());
+  }
+
+  // make() still constructs for real.
+  EXPECT_NE(make_predictor("test-counting"), nullptr);
+  EXPECT_EQ(g_counting_factory_constructions, before + 1);
 }
 
 TEST(PredictorRegistry, AliasAndCanonicalBuildTheSamePredictor) {
