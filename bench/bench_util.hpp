@@ -67,19 +67,12 @@ inline core::StreamEvaluation evaluate_level(mpi::World& world, trace::Level lev
   return zero;
 }
 
-/// `--predictor` / `--list-predictors` handling for bench mains: exits on
-/// a listing request, a bad name, or any leftover argument (benches take
-/// nothing else, and a typoed flag must not silently run the default);
-/// otherwise returns the validated name.
+/// `--predictor` / `--list-predictors` handling for bench mains without
+/// positionals: the registry-level helper performs the listing/error
+/// exits, and any leftover argument is rejected here (a typoed flag must
+/// not silently run the default).
 inline std::string predictor_flag(int argc, char** argv, std::string fallback = "dpd") {
-  const auto arg = engine::parse_predictor_arg(argc, argv, std::move(fallback));
-  if (arg.listed) {
-    std::exit(0);
-  }
-  if (!arg.error.empty()) {
-    std::fprintf(stderr, "%s\n", arg.error.c_str());
-    std::exit(1);
-  }
+  const auto arg = engine::predictor_arg_or_exit(argc, argv, std::move(fallback));
   if (!arg.rest.empty()) {
     std::fprintf(stderr, "unexpected argument '%s'\n", arg.rest.front().c_str());
     std::exit(1);

@@ -17,14 +17,7 @@
 
 int main(int argc, char** argv) {
   using namespace mpipred;
-  const auto arg = engine::parse_predictor_arg(argc, argv);
-  if (arg.listed) {
-    return 0;
-  }
-  if (!arg.error.empty()) {
-    std::fprintf(stderr, "%s\n", arg.error.c_str());
-    return 1;
-  }
+  const auto arg = engine::predictor_arg_or_exit(argc, argv);
   if (!arg.rest.empty()) {
     std::fprintf(stderr, "unexpected argument '%s'\n", arg.rest.front().c_str());
     return 1;

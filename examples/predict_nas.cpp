@@ -6,7 +6,6 @@
 //   $ ./examples/predict_nas [app] [procs] [--predictor <name>] [--shards <n>]
 //     (default: cg 8 --predictor dpd --shards 0 = one per hardware thread)
 
-#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -14,6 +13,7 @@
 
 #include "apps/app.hpp"
 #include "apps/registry.hpp"
+#include "bench/bench_util.hpp"
 #include "engine/engine.hpp"
 #include "mpi/world.hpp"
 #include "trace/stats.hpp"
@@ -28,52 +28,13 @@ void print_report_block(const char* label, const mpipred::core::AccuracyReport& 
   std::printf("\n");
 }
 
-/// Consumes `--shards <n>` / `--shards=<n>` from `rest`; 0 (the default)
-/// means one engine shard per hardware thread.
-std::size_t take_shards_flag(std::vector<std::string>& rest) {
-  const auto parse = [](const std::string& text) -> std::size_t {
-    char* end = nullptr;
-    errno = 0;
-    const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
-    if (text.empty() || text.front() == '-' || *end != '\0' || errno == ERANGE) {
-      std::fprintf(stderr, "--shards requires a non-negative integer, got '%s'\n", text.c_str());
-      std::exit(1);
-    }
-    return static_cast<std::size_t>(value);
-  };
-  std::size_t shards = 0;
-  for (auto it = rest.begin(); it != rest.end();) {
-    if (*it == "--shards") {
-      if (std::next(it) == rest.end()) {
-        std::fprintf(stderr, "--shards requires a value\n");
-        std::exit(1);
-      }
-      shards = parse(*std::next(it));
-      it = rest.erase(it, std::next(it, 2));
-    } else if (it->starts_with("--shards=")) {
-      shards = parse(it->substr(std::string("--shards=").size()));
-      it = rest.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  return shards;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace mpipred;
-  auto predictor_arg = engine::parse_predictor_arg(argc, argv);
-  if (predictor_arg.listed) {
-    return 0;
-  }
-  if (!predictor_arg.error.empty()) {
-    std::fprintf(stderr, "%s\n", predictor_arg.error.c_str());
-    return 1;
-  }
+  auto predictor_arg = engine::predictor_arg_or_exit(argc, argv);
   const std::string& predictor = predictor_arg.name;
-  const std::size_t shards = take_shards_flag(predictor_arg.rest);
+  const std::size_t shards = bench::shards_flag(predictor_arg.rest);
 
   std::string app = "cg";
   int procs = 8;

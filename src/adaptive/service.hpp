@@ -1,0 +1,132 @@
+#pragma once
+
+// The query half of the adaptive runtime: wraps the sharded
+// PredictionEngine behind the online per-(source, destination, tag) API
+// the simulated MPI library and the §2 what-if replays consume. Where the
+// engine answers "how accurate were we" (scoring), the service answers
+// "what should the library do next" (steering): who sends to `dst` next,
+// how many bytes, and how much the answer can be trusted.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "engine/engine.hpp"
+
+namespace mpipred::adaptive {
+
+struct ServiceConfig {
+  /// Predictor family, options and shard count shared by both engine
+  /// views. The key policy field is ignored: the service fixes its own
+  /// policies (see below).
+  engine::EngineConfig engine{};
+  /// Split streams by tag as well as by endpoint (off reproduces the
+  /// paper's per-receiver setup, where the tag rides along as data).
+  bool by_tag = false;
+};
+
+/// One answer to "what arrives at `destination` next".
+struct Prediction {
+  /// Predicted sender rank.
+  std::int32_t sender = 0;
+  /// Predicted message size; nullopt when the size dimension had no basis
+  /// (a sender prediction alone still lets the library pre-post a
+  /// default-sized buffer).
+  std::optional<std::int64_t> bytes;
+  /// Observed +1 accuracy of the answering stream so far — the sender
+  /// dimension's, min-ed with the size dimension's when `bytes` is set.
+  /// 0.0 until the stream has scored at least one prediction, so fresh
+  /// streams never pass a positive confidence gate.
+  double confidence = 0.0;
+};
+
+/// Online prediction queries over a live trace of arrivals. Internally two
+/// sharded engines consume every event: the *arrival* view keys streams
+/// per receiver (the paper's setup — its sender sequence answers "who is
+/// next"), the *stream* view keys per (source, destination[, tag]) (its
+/// size sequence answers "how large is the next message of this flow",
+/// the granularity credits are planned at). All answers are pure functions
+/// of per-stream predictor state, so they are identical for any
+/// `engine.shards` value — the closed-loop runtime built on top stays
+/// deterministic across shard counts.
+class PredictionService {
+ public:
+  explicit PredictionService(ServiceConfig cfg = {});
+
+  /// Feeds one arrival to both views (and the per-destination source
+  /// registry that credit planning enumerates).
+  void observe(const engine::Event& event);
+  void observe_all(std::span<const engine::Event> events);
+
+  /// Predicted (sender, size, confidence) `h` steps ahead for the stream
+  /// arriving at `destination`; nullopt while the sender dimension has no
+  /// prediction. `tag` participates only under `by_tag`.
+  [[nodiscard]] std::optional<Prediction> predict_next(std::int32_t destination, std::size_t h = 1,
+                                                       std::int32_t tag = 0) const;
+
+  /// The §5.3 set view: predictions for h = 1..horizon() that have a
+  /// sender, in horizon order. Buffers and credits care about membership,
+  /// not arrival order.
+  [[nodiscard]] std::vector<Prediction> predicted_window(std::int32_t destination,
+                                                         std::int32_t tag = 0) const;
+
+  /// Distinct senders of the predicted window whose confidence reaches
+  /// `min_confidence`, in first-appearance order (deterministic).
+  [[nodiscard]] std::vector<std::int32_t> predicted_senders(std::int32_t destination,
+                                                            double min_confidence = 0.0,
+                                                            std::int32_t tag = 0) const;
+
+  /// Next predicted size of the (source -> destination) flow, from the
+  /// per-stream view; nullopt without a basis.
+  [[nodiscard]] std::optional<std::int64_t> predict_stream_size(std::int32_t source,
+                                                                std::int32_t destination,
+                                                                std::size_t h = 1,
+                                                                std::int32_t tag = 0) const;
+
+  /// Observed +1 size accuracy of the (source -> destination) flow; 0.0
+  /// for unknown flows.
+  [[nodiscard]] double stream_confidence(std::int32_t source, std::int32_t destination,
+                                         std::int32_t tag = 0) const;
+
+  /// The (source -> destination) flow resolved once — for consumers that
+  /// read both its size prediction and its confidence per message.
+  [[nodiscard]] engine::StreamRef stream_view(std::int32_t source, std::int32_t destination,
+                                              std::int32_t tag = 0) const;
+
+  /// Every source that has ever sent to `destination`, in first-seen
+  /// order. The feed order is deterministic, so so is this.
+  [[nodiscard]] std::span<const std::int32_t> sources_of(std::int32_t destination) const;
+
+  [[nodiscard]] std::size_t horizon() const noexcept { return horizon_; }
+  [[nodiscard]] std::int64_t events_observed() const noexcept { return events_; }
+
+  /// The per-receiver scoring view (what predict_nas prints); identical to
+  /// a PredictionEngine fed the same events with the per-receiver policy.
+  [[nodiscard]] const engine::PredictionEngine& arrival_engine() const noexcept {
+    return arrival_;
+  }
+  /// The per-(source, destination[, tag]) view credits are planned from.
+  [[nodiscard]] const engine::PredictionEngine& stream_engine() const noexcept { return stream_; }
+
+  [[nodiscard]] const ServiceConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct DestinationSources {
+    std::int32_t destination = 0;
+    std::vector<std::int32_t> sources;  // first-seen order
+  };
+
+  [[nodiscard]] engine::StreamKey arrival_key(std::int32_t destination, std::int32_t tag) const;
+  [[nodiscard]] engine::StreamKey stream_key(std::int32_t source, std::int32_t destination,
+                                             std::int32_t tag) const;
+
+  ServiceConfig cfg_;
+  engine::PredictionEngine arrival_;
+  engine::PredictionEngine stream_;
+  std::size_t horizon_ = 1;  // after the engines: initialized from arrival_
+  std::int64_t events_ = 0;
+  std::vector<DestinationSources> sources_;  // few destinations: linear scan
+};
+
+}  // namespace mpipred::adaptive

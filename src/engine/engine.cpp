@@ -77,6 +77,35 @@ std::optional<core::Predictor::Value> PredictionEngine::predict_size(const Strea
   return state == nullptr ? std::nullopt : state->size_predictor->predict(h);
 }
 
+std::optional<core::Predictor::Value> StreamRef::predict_sender(std::size_t h) const {
+  return state_ == nullptr ? std::nullopt : state_->sender_predictor->predict(h);
+}
+
+std::optional<core::Predictor::Value> StreamRef::predict_size(std::size_t h) const {
+  return state_ == nullptr ? std::nullopt : state_->size_predictor->predict(h);
+}
+
+StreamSnapshot StreamRef::snapshot() const {
+  if (state_ == nullptr) {
+    return {};
+  }
+  const auto plus_one = [](const core::AccuracyReport& report) {
+    return report.max_horizon() == 0 ? 0.0 : report.at(1).accuracy();
+  };
+  return {.events = state_->events,
+          .sender_accuracy = plus_one(state_->sender_eval.report()),
+          .size_accuracy = plus_one(state_->size_eval.report())};
+}
+
+std::optional<StreamSnapshot> PredictionEngine::snapshot(const StreamKey& key) const {
+  const StreamRef ref = stream(key);
+  return ref.valid() ? std::optional(ref.snapshot()) : std::nullopt;
+}
+
+StreamRef PredictionEngine::stream(const StreamKey& key) const {
+  return StreamRef(shards_->find(key));
+}
+
 namespace {
 
 void accumulate(core::AccuracyReport& total, const core::AccuracyReport& part) {

@@ -114,6 +114,41 @@ struct EngineReport {
 
 class ShardSet;
 
+/// Cheap live view of one stream's track record, for consumers that gate
+/// decisions on how well a stream has predicted *so far* (the adaptive
+/// runtime's confidence signal). Unlike report(), reading one snapshot
+/// costs a single table lookup, not a walk over every stream.
+struct StreamSnapshot {
+  std::int64_t events = 0;
+  /// Observed +1 accuracy over all samples so far (the paper's metric:
+  /// warm-up samples count as misses).
+  double sender_accuracy = 0.0;
+  double size_accuracy = 0.0;
+};
+
+struct StreamState;
+
+/// One stream resolved once, for per-message consumers that read several
+/// horizons and both dimensions: predict_sender/predict_size/snapshot on
+/// the engine cost one table lookup *each*, a StreamRef pays the lookup
+/// once and answers all of them off the same state. Invalidated by the
+/// next observe()/observe_all() on the owning engine.
+class StreamRef {
+ public:
+  /// False for keys never observed; all queries then return empty.
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
+  [[nodiscard]] std::optional<core::Predictor::Value> predict_sender(std::size_t h = 1) const;
+  [[nodiscard]] std::optional<core::Predictor::Value> predict_size(std::size_t h = 1) const;
+  [[nodiscard]] StreamSnapshot snapshot() const;
+
+ private:
+  friend class PredictionEngine;
+  explicit StreamRef(const StreamState* state) : state_(state) {}
+
+  const StreamState* state_;
+};
+
 /// Online multi-stream prediction: demultiplexes a global trace of MPI
 /// events into per-key streams and maintains, per stream, one predictor
 /// for the sender-rank dimension and one for the message-size dimension,
@@ -162,12 +197,24 @@ class PredictionEngine {
   /// Actual number of shards (cfg().shards with 0 resolved to hardware).
   [[nodiscard]] std::size_t shard_count() const noexcept;
 
+  /// Effective horizon: cfg().options.horizon clamped to the prototype's
+  /// max_horizon(). Predictions exist for h = 1..horizon() only.
+  [[nodiscard]] std::size_t horizon() const noexcept { return horizon_; }
+
   /// Predictions for the stream `key`, `h` steps ahead (h = 1 is next).
   /// nullopt if the stream is unknown or its predictor has no basis yet.
   [[nodiscard]] std::optional<core::Predictor::Value> predict_sender(const StreamKey& key,
                                                                      std::size_t h = 1) const;
   [[nodiscard]] std::optional<core::Predictor::Value> predict_size(const StreamKey& key,
                                                                    std::size_t h = 1) const;
+
+  /// Event count and observed +1 accuracies of the stream `key`; nullopt
+  /// if the stream has never been observed.
+  [[nodiscard]] std::optional<StreamSnapshot> snapshot(const StreamKey& key) const;
+
+  /// Resolves `key` with one lookup; the returned view answers prediction
+  /// and snapshot queries until the engine's next observe call.
+  [[nodiscard]] StreamRef stream(const StreamKey& key) const;
 
   /// Accuracy and footprint of everything observed so far.
   [[nodiscard]] EngineReport report() const;

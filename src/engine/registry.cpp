@@ -1,6 +1,7 @@
 #include "engine/registry.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 #include "common/error.hpp"
@@ -96,6 +97,18 @@ PredictorArg parse_predictor_arg(int argc, char** argv, std::string fallback) {
     out.error = registry.unknown_name_message(out.name);
   }
   return out;
+}
+
+PredictorArg predictor_arg_or_exit(int argc, char** argv, std::string fallback) {
+  PredictorArg arg = parse_predictor_arg(argc, argv, std::move(fallback));
+  if (arg.listed) {
+    std::exit(0);
+  }
+  if (!arg.error.empty()) {
+    std::fprintf(stderr, "%s\n", arg.error.c_str());
+    std::exit(1);
+  }
+  return arg;
 }
 
 // ----------------------------------------------------------------------

@@ -105,4 +105,13 @@ struct PredictorArg {
 [[nodiscard]] PredictorArg parse_predictor_arg(int argc, char** argv,
                                                std::string fallback = "dpd");
 
+/// parse_predictor_arg plus the exits every CLI main wants: a listing
+/// request exits 0 (the registry was already printed), a missing value or
+/// unknown name prints the registry's diagnostic to stderr and exits 1.
+/// Returns the validated arg otherwise; callers with positionals read
+/// `rest`, callers without any should reject a non-empty `rest` (a typoed
+/// flag must not silently run the default configuration).
+[[nodiscard]] PredictorArg predictor_arg_or_exit(int argc, char** argv,
+                                                 std::string fallback = "dpd");
+
 }  // namespace mpipred::engine

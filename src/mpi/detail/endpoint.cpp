@@ -67,6 +67,25 @@ void Endpoint::record_physical(int sender, std::int64_t bytes, trace::OpKind kin
   world_->traces().append(rank_, trace::Level::Physical, rec);
 }
 
+bool Endpoint::note_adaptive_arrival(int sender, std::int64_t bytes, trace::OpKind kind) {
+  adaptive::AdaptivePolicy* policy = world_->adaptive_policy();
+  if (policy == nullptr) {
+    return false;
+  }
+  // Same event shape as engine::events_from_trace, so the closed loop
+  // learns exactly the stream an offline engine replay would see.
+  const bool hit = policy->on_arrival({.source = static_cast<std::int32_t>(sender),
+                                       .destination = static_cast<std::int32_t>(rank_),
+                                       .tag = static_cast<std::int32_t>(kind),
+                                       .bytes = bytes});
+  if (hit) {
+    ++counters_.prepost_hits;
+  } else {
+    ++counters_.prepost_misses;
+  }
+  return hit && world_->config().adaptive.prepost_buffers;
+}
+
 std::shared_ptr<SendState> Endpoint::post_send(std::span<const std::byte> data, int dst, int tag,
                                                std::uint32_t comm_id, trace::OpKind kind,
                                                trace::Op op) {
@@ -84,17 +103,37 @@ std::shared_ptr<SendState> Endpoint::post_send(std::span<const std::byte> data, 
   send->op = op;
   send->rendezvous = send->bytes > world_->config().eager_threshold_bytes;
 
+  // §2.3 closed loop: when the receiver's predictions anticipated this
+  // (sender, size), the buffer is already pledged there — the handshake
+  // can be skipped and the large message travels like a short one.
+  if (send->rendezvous && world_->config().adaptive.elide_rendezvous) {
+    if (adaptive::AdaptivePolicy* policy = world_->adaptive_policy()) {
+      const engine::Event event{.source = static_cast<std::int32_t>(rank_),
+                                .destination = static_cast<std::int32_t>(dst),
+                                .tag = static_cast<std::int32_t>(kind),
+                                .bytes = send->bytes};
+      if (policy->choose_protocol(event) == adaptive::Protocol::ElidedRendezvous) {
+        send->rendezvous = false;
+        send->elided = true;
+        ++counters_.rendezvous_elided;
+      }
+    }
+  }
+
   sim::Engine& eng = world_->engine();
   sim::Network& net = eng.network();
-  const std::int64_t header = world_->config().header_bytes;
 
   if (!send->rendezvous) {
     // Eager, subject to §2.1 per-pair flow control: the message may only
     // fly while the receiver's pre-allocated per-peer buffer has room for
     // it; otherwise it queues behind earlier messages to the same peer.
+    // An elided-rendezvous send has its own pledged buffer, so the credit
+    // never gates it — but it still queues behind earlier stalled sends
+    // (same-pair ordering must hold for tag matching).
     const std::int64_t credit = world_->config().per_pair_credit_bytes;
     const auto d = static_cast<std::size_t>(dst);
-    const bool fits = credit <= 0 || credit_used_[d] == 0 || credit_used_[d] + send->bytes <= credit;
+    const bool fits = send->elided || credit <= 0 || credit_used_[d] == 0 ||
+                      credit_used_[d] + send->bytes <= credit;
     if (fits && send_queue_[d].empty()) {
       launch_eager(send);
     } else {
@@ -126,7 +165,7 @@ std::shared_ptr<SendState> Endpoint::post_send(std::span<const std::byte> data, 
 void Endpoint::launch_eager(const std::shared_ptr<SendState>& send) {
   sim::Engine& eng = world_->engine();
   const std::int64_t header = world_->config().header_bytes;
-  if (world_->config().per_pair_credit_bytes > 0) {
+  if (world_->config().per_pair_credit_bytes > 0 && !send->elided) {
     credit_used_[static_cast<std::size_t>(send->dst)] += send->bytes;
   }
   const auto timing =
@@ -141,6 +180,7 @@ void Endpoint::launch_eager(const std::shared_ptr<SendState>& send) {
     arrival.bytes = send->bytes;
     arrival.kind = send->kind;
     arrival.op = send->op;
+    arrival.elided = send->elided;
     arrival.payload = send->payload;
     dst_ep.on_eager(arrival);
   });
@@ -158,8 +198,8 @@ void Endpoint::release_credit(int dst, std::int64_t bytes) {
   used -= std::min(used, bytes);
   auto& queue = send_queue_[static_cast<std::size_t>(dst)];
   const std::int64_t credit = world_->config().per_pair_credit_bytes;
-  while (!queue.empty() &&
-         (used == 0 || used + queue.front()->bytes <= credit)) {
+  while (!queue.empty() && (queue.front()->elided || used == 0 ||
+                            used + queue.front()->bytes <= credit)) {
     auto next = queue.front();
     queue.pop_front();
     launch_eager(next);
@@ -190,8 +230,13 @@ std::shared_ptr<RecvState> Endpoint::post_recv(std::span<std::byte> buffer, int 
       continue;
     }
     Arrival arrival = std::move(*it);
-    counters_.unexpected_bytes_now -=
-        (arrival.type == Arrival::Type::Eager) ? arrival.bytes : world_->config().control_bytes;
+    if (arrival.type != Arrival::Type::Eager) {
+      counters_.unexpected_bytes_now -= world_->config().control_bytes;
+    } else if (arrival.preposted) {
+      counters_.preposted_bytes_now -= arrival.bytes;
+    } else {
+      counters_.unexpected_bytes_now -= arrival.bytes;
+    }
     unexpected_.erase(it);
     if (arrival.type == Arrival::Type::Eager) {
       deliver_eager_to(recv, arrival);
@@ -235,12 +280,16 @@ void Endpoint::deliver_eager_to(const std::shared_ptr<RecvState>& recv, const Ar
   recv->status = Status{arrival.src, arrival.tag, arrival.bytes};
   resolve_logical(*recv, arrival.src, arrival.bytes);
   // The receiver's per-peer buffer slot is free again: return the credit
-  // to the sender (event-scheduled: this may run in either context).
-  Endpoint& src_ep = world_->endpoint(arrival.src);
-  const std::int64_t freed = arrival.bytes;
-  const int me = rank_;
-  world_->engine().schedule(world_->engine().now(),
-                            [&src_ep, me, freed] { src_ep.release_credit(me, freed); });
+  // to the sender (event-scheduled: this may run in either context). An
+  // elided send never consumed credit, so releasing would wrongly free
+  // other messages' budget.
+  if (!arrival.elided) {
+    Endpoint& src_ep = world_->endpoint(arrival.src);
+    const std::int64_t freed = arrival.bytes;
+    const int me = rank_;
+    world_->engine().schedule(world_->engine().now(),
+                              [&src_ep, me, freed] { src_ep.release_credit(me, freed); });
+  }
   wake_owner();
 }
 
@@ -268,8 +317,25 @@ void Endpoint::grant_cts(const std::shared_ptr<SendState>& send,
 void Endpoint::on_eager(const Arrival& arrival) {
   ++counters_.eager_received;
   record_physical(arrival.src, arrival.bytes, arrival.kind, arrival.op);
+  bool preposted = note_adaptive_arrival(arrival.src, arrival.bytes, arrival.kind);
+  // An elided rendezvous was anticipated by the receiver, so its buffer
+  // is pledged by construction — it must never be charged to the
+  // unbounded unexpected pool (even if the pre-post plan shifted between
+  // send and arrival, or eager pre-posting is configured off).
+  preposted = preposted || arrival.elided;
   if (auto recv = take_posted_match(arrival)) {
     deliver_eager_to(recv, arrival);
+    return;
+  }
+  if (preposted) {
+    // Predicted sender: the payload parks in the buffer pre-posted for it
+    // — pledged, receiver-controlled memory, not the unexpected pool.
+    counters_.preposted_bytes_now += arrival.bytes;
+    counters_.preposted_bytes_peak =
+        std::max(counters_.preposted_bytes_peak, counters_.preposted_bytes_now);
+    Arrival parked = arrival;
+    parked.preposted = true;
+    unexpected_.push_back(std::move(parked));
     return;
   }
   ++counters_.unexpected_arrivals;
@@ -297,6 +363,9 @@ void Endpoint::on_data(const std::shared_ptr<SendState>& send,
                        const std::shared_ptr<RecvState>& recv) {
   ++counters_.rendezvous_received;
   record_physical(send->src, send->bytes, send->kind, send->op);
+  // Accounting only: the recv is already matched, so no buffer routing —
+  // but the policy must still learn this arrival in physical order.
+  (void)note_adaptive_arrival(send->src, send->bytes, send->kind);
   if (static_cast<std::int64_t>(recv->buffer.size()) < send->bytes) {
     std::ostringstream os;
     os << "message truncation: rank " << rank_ << " posted a " << recv->buffer.size()

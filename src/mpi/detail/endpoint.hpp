@@ -28,6 +28,21 @@ struct EndpointCounters {
   std::int64_t recvs_posted = 0;
   /// Eager sends that had to queue for per-pair credit (§2.1 throttling).
   std::int64_t eager_credit_stalls = 0;
+  // Closed-loop counters, populated only under WorldConfig::adaptive:
+  /// Arrivals the receiver's pre-post plan anticipated. Plan-quality
+  /// accounting: kept even with `prepost_buffers` off (when no memory is
+  /// actually parked) so policies can be scored without changing runtime
+  /// behavior.
+  std::int64_t prepost_hits = 0;
+  /// Arrivals the plan missed — the slow ask-permission fallback.
+  std::int64_t prepost_misses = 0;
+  /// Unexpected eager bytes parked in pre-posted (pledged) buffers
+  /// instead of the unbounded unexpected pool.
+  std::int64_t preposted_bytes_now = 0;
+  std::int64_t preposted_bytes_peak = 0;
+  /// Sender side: large sends that skipped the RTS/CTS handshake because
+  /// the receiver's predictions anticipated them.
+  std::int64_t rendezvous_elided = 0;
 };
 
 /// The per-rank bottom half of the MPI library: tag matching, the
@@ -78,6 +93,11 @@ class Endpoint {
   void record_logical_post(RecvState& recv);
   void resolve_logical(const RecvState& recv, int sender, std::int64_t bytes);
   void record_physical(int sender, std::int64_t bytes, trace::OpKind kind, trace::Op op);
+
+  /// Feeds one physical arrival to the world's adaptive policy (when
+  /// enabled) and scores it against this receiver's pre-post plan.
+  /// Returns true when the arrival may park in a pre-posted buffer.
+  bool note_adaptive_arrival(int sender, std::int64_t bytes, trace::OpKind kind);
 
   void wake_owner();
 

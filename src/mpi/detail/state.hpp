@@ -24,6 +24,11 @@ struct SendState {
   trace::OpKind kind = trace::OpKind::PointToPoint;
   trace::Op op = trace::Op::Recv;
   bool rendezvous = false;
+  /// Over-threshold send travelling eagerly because the receiver's
+  /// predictions anticipated it (§2.3). It lands in the receiver's
+  /// pledged buffer, so it neither consumes nor releases the per-pair
+  /// eager credit.
+  bool elided = false;
   bool complete = false;
 };
 
@@ -54,6 +59,12 @@ struct Arrival {
   std::int64_t bytes = 0;
   trace::OpKind kind = trace::OpKind::PointToPoint;
   trace::Op op = trace::Op::Recv;
+  /// The adaptive runtime predicted this sender: the payload is parked in
+  /// a pre-posted buffer (pledged memory), not the unexpected pool.
+  bool preposted = false;
+  /// Carried over from SendState::elided (stays outside the per-pair
+  /// eager credit; parks in pledged memory when unexpected).
+  bool elided = false;
   Payload payload;                   // Eager only
   std::shared_ptr<SendState> send;   // Rts only
 };

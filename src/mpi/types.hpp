@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string_view>
 
+#include "adaptive/policy.hpp"
 #include "sim/config.hpp"
 
 namespace mpipred::mpi {
@@ -52,7 +53,8 @@ struct datatype_of;
 template <> struct datatype_of<std::byte> { static constexpr Datatype value = Datatype::Byte; };
 template <> struct datatype_of<std::int32_t> { static constexpr Datatype value = Datatype::Int32; };
 template <> struct datatype_of<std::int64_t> { static constexpr Datatype value = Datatype::Int64; };
-template <> struct datatype_of<std::uint64_t> { static constexpr Datatype value = Datatype::UInt64; };
+template <>
+struct datatype_of<std::uint64_t> { static constexpr Datatype value = Datatype::UInt64; };
 template <> struct datatype_of<float> { static constexpr Datatype value = Datatype::Float32; };
 template <> struct datatype_of<double> { static constexpr Datatype value = Datatype::Float64; };
 
@@ -81,6 +83,10 @@ struct WorldConfig {
   bool record_logical = true;
   /// Record streams at the bottom of the library (arrival order)?
   bool record_physical = true;
+  /// The §2 closed loop: prediction-driven buffer pre-posting and
+  /// rendezvous elision inside the library (off by default — the paper's
+  /// measurement runs use the static library).
+  adaptive::RuntimeConfig adaptive{};
 };
 
 }  // namespace mpipred::mpi

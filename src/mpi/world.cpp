@@ -11,6 +11,13 @@ World::World(int nranks, WorldConfig cfg)
     : cfg_(cfg), engine_(nranks, cfg.engine), traces_(nranks) {
   MPIPRED_REQUIRE(cfg.eager_threshold_bytes >= 0, "eager threshold cannot be negative");
   MPIPRED_REQUIRE(cfg.control_bytes > 0, "control messages need a positive size");
+  if (cfg.adaptive.enabled) {
+    adaptive::PolicyConfig policy_cfg = cfg.adaptive.policy;
+    // One protocol cutoff: the policy elides exactly the messages the
+    // library would otherwise send via rendezvous.
+    policy_cfg.rendezvous_threshold_bytes = cfg.eager_threshold_bytes;
+    adaptive_ = std::make_unique<adaptive::AdaptivePolicy>(cfg.adaptive.service, policy_cfg);
+  }
   endpoints_.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
     endpoints_.push_back(std::make_unique<detail::Endpoint>(*this, r));
@@ -43,6 +50,12 @@ detail::EndpointCounters World::aggregate_counters() const {
     total.unexpected_bytes_peak += c.unexpected_bytes_peak;
     total.sends_posted += c.sends_posted;
     total.recvs_posted += c.recvs_posted;
+    total.eager_credit_stalls += c.eager_credit_stalls;
+    total.prepost_hits += c.prepost_hits;
+    total.prepost_misses += c.prepost_misses;
+    total.preposted_bytes_now += c.preposted_bytes_now;
+    total.preposted_bytes_peak += c.preposted_bytes_peak;
+    total.rendezvous_elided += c.rendezvous_elided;
   }
   return total;
 }

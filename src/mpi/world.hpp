@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "adaptive/policy.hpp"
 #include "mpi/detail/endpoint.hpp"
 #include "mpi/types.hpp"
 #include "sim/engine.hpp"
@@ -53,10 +54,18 @@ class World {
   /// Sum of all endpoints' counters (reports, §2.2 benchmarks).
   [[nodiscard]] detail::EndpointCounters aggregate_counters() const;
 
+  /// The closed-loop policy every endpoint consults, or nullptr when
+  /// `WorldConfig::adaptive.enabled` is false.
+  [[nodiscard]] adaptive::AdaptivePolicy* adaptive_policy() noexcept { return adaptive_.get(); }
+  [[nodiscard]] const adaptive::AdaptivePolicy* adaptive_policy() const noexcept {
+    return adaptive_.get();
+  }
+
  private:
   WorldConfig cfg_;
   sim::Engine engine_;
   trace::TraceStore traces_;
+  std::unique_ptr<adaptive::AdaptivePolicy> adaptive_;
   std::vector<std::unique_ptr<detail::Endpoint>> endpoints_;
   std::map<std::uint64_t, std::uint32_t> comm_ids_;
   std::uint32_t next_comm_id_ = 1;  // 0 is the world communicator

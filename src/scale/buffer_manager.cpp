@@ -7,44 +7,25 @@
 namespace mpipred::scale {
 
 PredictiveBufferManager::PredictiveBufferManager(const BufferManagerConfig& cfg)
-    : cfg_(cfg), predictor_(cfg.predictor) {
+    : policy_(adaptive::ServiceConfig{.engine = cfg.engine},
+              adaptive::PolicyConfig{.buffer_bytes = cfg.buffer_bytes, .lru_keep = cfg.lru_keep}) {
   report_.policy = "predicted";
   report_.buffer_bytes = cfg.buffer_bytes;
 }
 
-void PredictiveBufferManager::refresh_allocation() {
-  allocated_ = predictor_.predicted_senders();
-  // Keep a small LRU of recent senders allocated as well.
-  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-    if (std::find(allocated_.begin(), allocated_.end(), *it) == allocated_.end()) {
-      allocated_.push_back(*it);
-    }
-  }
-}
-
 bool PredictiveBufferManager::on_message(std::int64_t sender) {
-  const bool hit = std::find(allocated_.begin(), allocated_.end(), sender) != allocated_.end();
-  ++report_.messages;
-  if (hit) {
-    ++report_.hits;
-  } else {
-    ++report_.misses;
-  }
-
-  // Account memory *before* adapting to this message.
-  buffer_sum_ += static_cast<double>(allocated_.size());
-  report_.peak_buffers =
-      std::max(report_.peak_buffers, static_cast<std::int64_t>(allocated_.size()));
-  report_.avg_buffers = buffer_sum_ / static_cast<double>(report_.messages);
-
-  // Learn and re-plan.
-  predictor_.observe(sender, 0);
-  lru_.erase(std::remove(lru_.begin(), lru_.end(), sender), lru_.end());
-  lru_.push_back(sender);
-  if (lru_.size() > cfg_.lru_keep) {
-    lru_.erase(lru_.begin());
-  }
-  refresh_allocation();
+  // Single-receiver replay: every message arrives at destination 0; the
+  // size dimension is fed zeros (senders alone drive this mechanism).
+  const bool hit = policy_.on_arrival({.source = static_cast<std::int32_t>(sender),
+                                       .destination = 0,
+                                       .tag = 0,
+                                       .bytes = 0});
+  const adaptive::PolicyStats& stats = policy_.stats();
+  report_.messages = stats.messages;
+  report_.hits = stats.prepost_hits;
+  report_.misses = stats.prepost_misses;
+  report_.avg_buffers = stats.avg_buffers();
+  report_.peak_buffers = stats.peak_buffers;
   return hit;
 }
 
@@ -53,13 +34,16 @@ BufferComparison compare_buffer_policies(std::span<const std::int64_t> senders, 
   MPIPRED_REQUIRE(nranks >= 1, "need at least one rank");
   BufferComparison out;
 
-  // All-pairs: one buffer per peer, always a hit.
+  // All-pairs: one buffer per peer, always a hit. An empty replay holds
+  // no residency either — every report must read all-zero for it.
   out.all_pairs.policy = "all-pairs";
   out.all_pairs.buffer_bytes = cfg.buffer_bytes;
   out.all_pairs.messages = static_cast<std::int64_t>(senders.size());
   out.all_pairs.hits = out.all_pairs.messages;
-  out.all_pairs.peak_buffers = nranks - 1;
-  out.all_pairs.avg_buffers = static_cast<double>(nranks - 1);
+  if (!senders.empty()) {
+    out.all_pairs.peak_buffers = nranks - 1;
+    out.all_pairs.avg_buffers = static_cast<double>(nranks - 1);
+  }
 
   // No pre-allocation: every message pays the handshake.
   out.none.policy = "none";
@@ -74,6 +58,35 @@ BufferComparison compare_buffer_policies(std::span<const std::int64_t> senders, 
   }
   out.predicted = manager.report();
   return out;
+}
+
+BufferPolicyReport replay_lru_buffers(std::span<const std::int64_t> senders, std::size_t k,
+                                      std::int64_t buffer_bytes) {
+  BufferPolicyReport report;
+  report.policy = "lru-" + std::to_string(k);
+  report.buffer_bytes = buffer_bytes;
+  std::vector<std::int64_t> lru;  // newest last
+  double buffer_sum = 0.0;
+  for (const auto s : senders) {
+    const bool hit = std::find(lru.begin(), lru.end(), s) != lru.end();
+    ++report.messages;
+    if (hit) {
+      ++report.hits;
+    } else {
+      ++report.misses;
+    }
+    buffer_sum += static_cast<double>(lru.size());
+    report.peak_buffers = std::max(report.peak_buffers, static_cast<std::int64_t>(lru.size()));
+    lru.erase(std::remove(lru.begin(), lru.end(), s), lru.end());
+    lru.push_back(s);
+    if (lru.size() > k) {
+      lru.erase(lru.begin());
+    }
+  }
+  if (report.messages > 0) {
+    report.avg_buffers = buffer_sum / static_cast<double>(report.messages);
+  }
+  return report;
 }
 
 }  // namespace mpipred::scale

@@ -1,12 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "adaptive/policy.hpp"
 #include "scale/report.hpp"
-#include "scale/window.hpp"
-#include "trace/stream.hpp"
 
 namespace mpipred::scale {
 
@@ -18,6 +18,7 @@ namespace mpipred::scale {
 ///
 /// This is a trace-driven what-if: replay the physical sender stream of
 /// one receiver under a buffer policy and account memory and latency.
+/// Every rate below returns 0.0 on an empty replay (messages == 0).
 struct BufferPolicyReport {
   std::string policy;
   std::int64_t messages = 0;
@@ -50,12 +51,13 @@ struct BufferPolicyReport {
 };
 
 struct BufferManagerConfig {
-  BufferManagerConfig() { predictor.horizon = 8; }
+  BufferManagerConfig() { engine.options.horizon = 8; }
 
-  /// Predictor setup; the horizon defaults to 8 (wider than the paper's
-  /// +5 evaluation) because the predicted *set* must cover all frequent
-  /// senders of a window — BT has up to 6.
-  core::StreamPredictorConfig predictor{};
+  /// Predictor family and options, instantiated through the engine (no
+  /// direct predictor wiring); the horizon defaults to 8 (wider than the
+  /// paper's +5 evaluation) because the predicted *set* must cover all
+  /// frequent senders of a window — BT has up to 6.
+  engine::EngineConfig engine{};
   /// Per-peer buffer size (the IBM MPI figure the paper quotes).
   std::int64_t buffer_bytes = 16 * 1024;
   /// Buffers additionally retained for the most recently seen senders
@@ -76,8 +78,17 @@ struct BufferComparison {
                                                        int nranks,
                                                        const BufferManagerConfig& cfg = {});
 
+/// Prediction-free yardstick at fixed capacity: keep buffers for the `k`
+/// most recently seen senders only. bench_adaptive compares the adaptive
+/// policy against this "same memory, no predictor" baseline.
+[[nodiscard]] BufferPolicyReport replay_lru_buffers(std::span<const std::int64_t> senders,
+                                                    std::size_t k,
+                                                    std::int64_t buffer_bytes = 16 * 1024);
+
 /// The prediction-driven policy as an online object (reused by tests and
-/// by the online example).
+/// by the online example): a thin single-receiver adapter over the
+/// adaptive runtime's policy layer, so the replay exercises exactly the
+/// decision code the live endpoint uses.
 class PredictiveBufferManager {
  public:
   explicit PredictiveBufferManager(const BufferManagerConfig& cfg = {});
@@ -87,17 +98,13 @@ class PredictiveBufferManager {
   bool on_message(std::int64_t sender);
 
   [[nodiscard]] const BufferPolicyReport& report() const noexcept { return report_; }
-  [[nodiscard]] std::size_t resident_buffers() const noexcept { return allocated_.size(); }
+  [[nodiscard]] std::size_t resident_buffers() const noexcept {
+    return policy_.resident_buffers(0);
+  }
 
  private:
-  void refresh_allocation();
-
-  BufferManagerConfig cfg_;
-  JointPredictor predictor_;           // size stream fed with zeros; senders drive it
-  std::vector<std::int64_t> allocated_;  // senders with live buffers
-  std::vector<std::int64_t> lru_;        // most recent senders, newest last
+  adaptive::AdaptivePolicy policy_;
   BufferPolicyReport report_;
-  double buffer_sum_ = 0.0;
 };
 
 }  // namespace mpipred::scale

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "adaptive/policy.hpp"
 #include "common/assert.hpp"
 
 namespace mpipred::scale {
@@ -46,30 +47,31 @@ CreditComparison compare_credit_policies(std::span<const std::int64_t> senders,
   }
   out.always_ask.peak_pledged_bytes = max_granule;
 
-  // Predicted credits: the receiver keeps credits for the predicted next-H
-  // (sender, size) pairs. An arrival consumes a matching credit (sender
-  // matches and granted bytes cover the actual size).
+  // Predicted credits, planned per stream through the engine: each known
+  // (source -> receiver) flow with a predicted next size holds one credit
+  // covering that size. An arrival consumes a matching credit (sender
+  // matches and granted bytes cover the actual size); the plan is
+  // refreshed after the arrival is learned.
   out.predicted_credits.policy = "predicted-credits";
   out.predicted_credits.messages = n;
-  JointPredictor predictor(cfg.predictor);
-  struct Credit {
-    std::int64_t sender;
-    std::int64_t bytes;
-  };
-  std::vector<Credit> credits;
+  adaptive::AdaptivePolicy policy(adaptive::ServiceConfig{.engine = cfg.engine},
+                                  adaptive::PolicyConfig{.credit_granule_bytes =
+                                                             cfg.granule_bytes});
+  std::vector<adaptive::Credit> credits;
   for (std::size_t i = 0; i < senders.size(); ++i) {
     // Account the current pledge.
     std::int64_t pledged = 0;
-    for (const Credit& c : credits) {
+    for (const adaptive::Credit& c : credits) {
       pledged += c.bytes;
     }
     out.predicted_credits.peak_pledged_bytes =
         std::max(out.predicted_credits.peak_pledged_bytes, pledged);
 
     // Try to consume a credit for this arrival.
-    const auto it = std::find_if(credits.begin(), credits.end(), [&](const Credit& c) {
-      return c.sender == senders[i] && c.bytes >= sizes[i];
-    });
+    const auto it =
+        std::find_if(credits.begin(), credits.end(), [&](const adaptive::Credit& c) {
+          return c.sender == senders[i] && c.bytes >= sizes[i];
+        });
     if (it != credits.end()) {
       ++out.predicted_credits.credit_hits;
       out.predicted_credits.total_latency_ns += cfg.latency.direct_ns(sizes[i]);
@@ -79,15 +81,12 @@ CreditComparison compare_credit_policies(std::span<const std::int64_t> senders,
       out.predicted_credits.total_latency_ns += cfg.latency.handshake_ns(sizes[i]);
     }
 
-    // Learn, then re-issue credits for the new predicted window.
-    predictor.observe(senders[i], sizes[i]);
-    credits.clear();
-    for (std::size_t h = 1; h <= predictor.horizon(); ++h) {
-      const auto pair = predictor.predict(h);
-      if (pair.sender && pair.bytes) {
-        credits.push_back(Credit{*pair.sender, round_up(*pair.bytes, cfg.granule_bytes)});
-      }
-    }
+    // Learn, then re-issue credits for the refreshed per-stream plan.
+    policy.service().observe({.source = static_cast<std::int32_t>(senders[i]),
+                              .destination = 0,
+                              .tag = 0,
+                              .bytes = sizes[i]});
+    credits = policy.credit_plan(0);
   }
   return out;
 }

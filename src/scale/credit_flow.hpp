@@ -4,8 +4,8 @@
 #include <span>
 #include <string>
 
+#include "engine/engine.hpp"
 #include "scale/report.hpp"
-#include "scale/window.hpp"
 
 namespace mpipred::scale {
 
@@ -23,7 +23,7 @@ namespace mpipred::scale {
 ///  * credit miss: sender pays the three-message handshake.
 /// Compared against "eager everything" (fast but unbounded memory: the
 /// receiver must absorb any burst) and "always ask" (bounded memory, 3x
-/// latency on every message).
+/// latency on every message). Rates return 0.0 on empty replays.
 struct CreditFlowReport {
   std::string policy;
   std::int64_t messages = 0;
@@ -44,7 +44,8 @@ struct CreditFlowReport {
 };
 
 struct CreditFlowConfig {
-  core::StreamPredictorConfig predictor{};
+  /// Predictor family and options for the per-stream engine views.
+  engine::EngineConfig engine{};
   LatencyModel latency{};
   /// A granted credit reserves the predicted size rounded up to this
   /// granule (buffers come from a pool of fixed-size slots).
@@ -57,7 +58,11 @@ struct CreditComparison {
   CreditFlowReport predicted_credits; // the paper's proposal
 };
 
-/// Replays one receiver's physical (sender, size) streams.
+/// Replays one receiver's physical (sender, size) streams. Credits are
+/// planned *per stream*: every known (source -> receiver) flow whose next
+/// size the engine predicts gets its own credit — not one window over the
+/// interleaved peer sequence — so coverage does not depend on predicting
+/// the interleaving of independent flows.
 [[nodiscard]] CreditComparison compare_credit_policies(std::span<const std::int64_t> senders,
                                                        std::span<const std::int64_t> sizes,
                                                        const CreditFlowConfig& cfg = {});

@@ -1,7 +1,6 @@
 #include "scale/rendezvous.hpp"
 
-#include <vector>
-
+#include "adaptive/policy.hpp"
 #include "common/assert.hpp"
 
 namespace mpipred::scale {
@@ -11,29 +10,26 @@ RendezvousReport evaluate_rendezvous_elision(std::span<const std::int64_t> sende
                                              const RendezvousConfig& cfg) {
   MPIPRED_REQUIRE(senders.size() == sizes.size(), "sender/size streams must align");
   RendezvousReport report;
-  JointPredictor predictor(cfg.predictor);
+  adaptive::AdaptivePolicy policy(
+      adaptive::ServiceConfig{.engine = cfg.engine},
+      adaptive::PolicyConfig{.rendezvous_threshold_bytes = cfg.threshold_bytes});
 
   for (std::size_t i = 0; i < senders.size(); ++i) {
+    const engine::Event event{.source = static_cast<std::int32_t>(senders[i]),
+                              .destination = 0,
+                              .tag = 0,
+                              .bytes = sizes[i]};
     if (sizes[i] > cfg.threshold_bytes) {
       ++report.long_messages;
       report.baseline_latency_ns += cfg.latency.handshake_ns(sizes[i]);
-
-      // Was (sender, >= size) anticipated anywhere in the predicted
-      // window? Buffers pre-allocated for the window make order moot.
-      bool anticipated = false;
-      for (std::size_t h = 1; h <= predictor.horizon() && !anticipated; ++h) {
-        const auto pair = predictor.predict(h);
-        anticipated = pair.sender && pair.bytes && *pair.sender == senders[i] &&
-                      *pair.bytes >= sizes[i];
-      }
-      if (anticipated) {
+      if (policy.choose_protocol(event) == adaptive::Protocol::ElidedRendezvous) {
         ++report.elided;
         report.predicted_latency_ns += cfg.latency.direct_ns(sizes[i]);
       } else {
         report.predicted_latency_ns += cfg.latency.handshake_ns(sizes[i]);
       }
     }
-    predictor.observe(senders[i], sizes[i]);
+    policy.service().observe(event);
   }
   return report;
 }

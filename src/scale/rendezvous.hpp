@@ -3,8 +3,8 @@
 #include <cstdint>
 #include <span>
 
+#include "engine/engine.hpp"
 #include "scale/report.hpp"
-#include "scale/window.hpp"
 
 namespace mpipred::scale {
 
@@ -18,7 +18,7 @@ namespace mpipred::scale {
 /// Trace-driven replay over one receiver's physical stream: a long message
 /// is "elided" when the predicted next-H window contained its sender and a
 /// size >= its actual size (the set view of §5.3 — buffers don't care
-/// about exact arrival order).
+/// about exact arrival order). Rates return 0.0/1.0 on empty replays.
 struct RendezvousReport {
   std::int64_t long_messages = 0;
   std::int64_t elided = 0;
@@ -35,13 +35,16 @@ struct RendezvousReport {
 };
 
 struct RendezvousConfig {
-  core::StreamPredictorConfig predictor{};
+  /// Predictor family and options for the engine the replay queries.
+  engine::EngineConfig engine{};
   LatencyModel latency{};
   /// Messages above this size would use rendezvous (the usual eager/rndv
   /// threshold).
   std::int64_t threshold_bytes = 16 * 1024;
 };
 
+/// Replays one receiver's stream through the adaptive protocol-choice
+/// policy (the same decision code the live endpoint consults).
 [[nodiscard]] RendezvousReport evaluate_rendezvous_elision(std::span<const std::int64_t> senders,
                                                            std::span<const std::int64_t> sizes,
                                                            const RendezvousConfig& cfg = {});

@@ -112,7 +112,8 @@ class Rng {
 /// Derive an independent child seed from (root seed, stream id). Used to
 /// give each rank / subsystem its own Rng so adding randomness consumers in
 /// one place never shifts another's stream.
-[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t root, std::uint64_t stream) noexcept {
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t root,
+                                                  std::uint64_t stream) noexcept {
   std::uint64_t s = root ^ (0xA24BAED4963EE407ULL + stream * 0x9FB21C651E98DF25ULL);
   std::uint64_t first = splitmix64(s);
   return first ^ splitmix64(s);

@@ -46,7 +46,8 @@ std::span<const Record> TraceStore::records(int rank, Level level) const {
 std::size_t TraceStore::total_records(Level level) const noexcept {
   std::size_t n = 0;
   for (int r = 0; r < nranks_; ++r) {
-    n += streams_[static_cast<std::size_t>(r) * kNumLevels + static_cast<std::size_t>(level)].size();
+    n += streams_[static_cast<std::size_t>(r) * kNumLevels + static_cast<std::size_t>(level)]
+             .size();
   }
   return n;
 }

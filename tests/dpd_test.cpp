@@ -207,11 +207,13 @@ std::vector<std::int64_t> planted_pattern(int m, int a) {
   for (std::uint64_t salt = 1; salt < 2000; ++salt) {
     std::vector<std::int64_t> pat(static_cast<std::size_t>(m));
     for (int i = 0; i < m; ++i) {
-      std::uint64_t x = salt * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(i) * 0xbf58476d1ce4e5b9ULL;
+      std::uint64_t x =
+          salt * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(i) * 0xbf58476d1ce4e5b9ULL;
       x ^= x >> 31;
       x *= 0x94d049bb133111ebULL;
       x ^= x >> 29;
-      pat[static_cast<std::size_t>(i)] = static_cast<std::int64_t>(x % static_cast<std::uint64_t>(a));
+      pat[static_cast<std::size_t>(i)] =
+          static_cast<std::int64_t>(x % static_cast<std::uint64_t>(a));
     }
     if (m > 1) {
       pat[0] = a;  // sentinel breaks the period-m boundary for smaller lags

@@ -1,5 +1,8 @@
 // The §2 scalability mechanisms: prediction-driven buffer allocation
 // (§2.1), credit-based flow control (§2.2), and rendezvous elision (§2.3).
+// All three replays are routed through the engine-backed adaptive layer —
+// no direct single-stream predictor wiring (the JointPredictor-era tests
+// for the query surface now live in adaptive_test.cpp).
 
 #include <gtest/gtest.h>
 
@@ -10,7 +13,6 @@
 #include "scale/buffer_manager.hpp"
 #include "scale/credit_flow.hpp"
 #include "scale/rendezvous.hpp"
-#include "scale/window.hpp"
 
 namespace mpipred::scale {
 namespace {
@@ -22,40 +24,6 @@ std::vector<std::int64_t> cycle(std::initializer_list<std::int64_t> pattern, std
     out.push_back(p[i % p.size()]);
   }
   return out;
-}
-
-// --------------------------------------------------------- JointPredictor --
-
-TEST(JointPredictor, TracksBothStreams) {
-  JointPredictor jp;
-  for (int i = 0; i < 40; ++i) {
-    jp.observe(i % 2, (i % 2) ? 1024 : 2048);
-  }
-  const auto pair = jp.predict(1);
-  ASSERT_TRUE(pair.sender.has_value());
-  ASSERT_TRUE(pair.bytes.has_value());
-  // Last observation was sender 1: next is sender 0 with 2048 bytes.
-  EXPECT_EQ(*pair.sender, 0);
-  EXPECT_EQ(*pair.bytes, 2048);
-}
-
-TEST(JointPredictor, PredictedSendersDeduplicates) {
-  JointPredictor jp;
-  for (int i = 0; i < 60; ++i) {
-    jp.observe(i % 3, 100);
-  }
-  const auto senders = jp.predicted_senders();
-  EXPECT_EQ(senders.size(), 3u);  // horizon 5 covers {0,1,2} with repeats
-}
-
-TEST(JointPredictor, ResetClearsBoth) {
-  JointPredictor jp;
-  for (int i = 0; i < 30; ++i) {
-    jp.observe(1, 64);
-  }
-  jp.reset();
-  EXPECT_FALSE(jp.predict(1).sender.has_value());
-  EXPECT_TRUE(jp.predicted_senders().empty());
 }
 
 // ---------------------------------------------------- buffer manager §2.1 --
@@ -210,6 +178,61 @@ TEST(Rendezvous, ThresholdIsRespected) {
 TEST(LatencyModelSanity, HandshakeCostsTwoExtraLatencies) {
   const LatencyModel m;
   EXPECT_DOUBLE_EQ(m.handshake_ns(1000) - m.direct_ns(1000), 2.0 * m.latency_ns);
+}
+
+// ------------------------------------------------------- empty replays --
+
+TEST(EmptyReplays, BufferPolicyRatesAreZero) {
+  const std::vector<std::int64_t> empty;
+  const auto cmp = compare_buffer_policies(empty, 8);
+  for (const auto* report : {&cmp.all_pairs, &cmp.predicted, &cmp.none}) {
+    EXPECT_EQ(report->messages, 0);
+    EXPECT_EQ(report->hit_rate(), 0.0);
+    EXPECT_EQ(report->avg_memory_bytes(), 0.0);
+    EXPECT_EQ(report->mean_latency_ns(LatencyModel{}, 1024.0), 0.0);
+  }
+  EXPECT_EQ(cmp.predicted.avg_buffers, 0.0);
+  const auto lru = replay_lru_buffers(empty, 4);
+  EXPECT_EQ(lru.hit_rate(), 0.0);
+  EXPECT_EQ(lru.avg_buffers, 0.0);
+}
+
+TEST(EmptyReplays, CreditFlowRatesAreZero) {
+  const std::vector<std::int64_t> empty;
+  const auto cmp = compare_credit_policies(empty, empty);
+  for (const auto* report :
+       {&cmp.eager_everything, &cmp.always_ask, &cmp.predicted_credits}) {
+    EXPECT_EQ(report->messages, 0);
+    EXPECT_EQ(report->hit_rate(), 0.0);
+    EXPECT_EQ(report->mean_latency_ns(), 0.0);
+  }
+}
+
+TEST(EmptyReplays, RendezvousRatesAreZero) {
+  const std::vector<std::int64_t> empty;
+  const auto report = evaluate_rendezvous_elision(empty, empty);
+  EXPECT_EQ(report.long_messages, 0);
+  EXPECT_EQ(report.elision_rate(), 0.0);
+  EXPECT_EQ(report.speedup(), 1.0);
+}
+
+// ------------------------------------------------- engine-routed replays --
+
+TEST(EngineRouting, RegistryPredictorDrivesBufferPolicy) {
+  // The replay accepts any registered family through the engine config —
+  // the property that retired the direct predictor wiring.
+  BufferManagerConfig cfg;
+  cfg.engine.predictor = "last-value";
+  const auto senders = cycle({4, 4, 4, 4}, 400);
+  const auto cmp = compare_buffer_policies(senders, 8, cfg);
+  EXPECT_GT(cmp.predicted.hit_rate(), 0.9);  // constant stream: last-value nails it
+}
+
+TEST(EngineRouting, UnknownPredictorNameThrows) {
+  BufferManagerConfig cfg;
+  cfg.engine.predictor = "no-such-predictor";
+  const auto senders = cycle({1, 2}, 10);
+  EXPECT_THROW((void)compare_buffer_policies(senders, 4, cfg), UsageError);
 }
 
 }  // namespace
