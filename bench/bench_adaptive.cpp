@@ -11,7 +11,14 @@
 // byte-identical — the bench exits 2 on any mismatch, so the memory and
 // round-trip numbers can never drift away from the determinism guarantee.
 //
-//   $ ./bench_adaptive [--predictor <name>] [--shards <n>]
+// With `--trace <file>` the comparison runs over an externally captured
+// trace instead: the file is ingested (src/ingest/), its physical arrival
+// stream replayed through the same adaptive policy at every sweep shard
+// count (byte-identical summaries enforced), scored against the static
+// per-peer allocation and the same-budget LRU yardstick, and the CSV
+// round-trip gate is run on the ingested store. Exit 2 on any mismatch.
+//
+//   $ ./bench_adaptive [--predictor <name>] [--shards <n>] [--trace <file>]
 
 #include <algorithm>
 #include <cmath>
@@ -21,6 +28,9 @@
 #include <vector>
 
 #include "bench/bench_util.hpp"
+#include "ingest/replay.hpp"
+#include "ingest/source.hpp"
+#include "ingest/verify.hpp"
 #include "scale/buffer_manager.hpp"
 
 namespace {
@@ -65,11 +75,102 @@ std::string format_report(const AdaptiveRun& run) {
   return buf;
 }
 
+/// `--trace` mode: the static-vs-adaptive comparison over an ingested
+/// external trace. The simulator cannot be re-run from a trace, so the
+/// static side is the analytic per-peer allocation (nranks-1 buffers,
+/// every arrival a hit) and the adaptive side replays the policy over the
+/// arrival stream — the identical decision code the live endpoint drives.
+int run_trace_mode(const std::string& path, const std::string& predictor, std::size_t shards) {
+  std::unique_ptr<ingest::TraceSource> source;
+  try {
+    source = ingest::open_trace(path);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  // Physical (arrival order) when the format records it — the level the
+  // live adaptive loop feeds on.
+  const trace::Level level = source->levels().back();
+  const auto events = source->events(level);
+  const int nranks = source->nranks();
+  const auto sweep = bench::gate_shard_sweep(shards);
+
+  std::printf("§2 closed loop — static per-peer library vs adaptive replay of %s\n",
+              path.c_str());
+  std::printf("(format %s, %d ranks, %zu %s-level arrivals, predictor %s; replay repeated at\n"
+              " engine shards {1,2,4}; summaries must match byte-for-byte)\n\n",
+              std::string(source->format()).c_str(), nranks, events.size(),
+              std::string(to_string(level)).c_str(), predictor.c_str());
+
+  adaptive::RuntimeConfig rt;
+  rt.service.engine.predictor = predictor;
+  const ingest::SweptReplay swept = ingest::replay_adaptive_swept(events, rt, sweep);
+  const ingest::AdaptiveReplay& adaptive = swept.replay;
+  if (!swept.deterministic) {
+    std::printf("REPLAY MISMATCH at %s\n", swept.mismatch.c_str());
+  }
+
+  // Prediction-free yardstick at the adaptive policy's own mean budget,
+  // over the same time-ordered arrival sequence the adaptive replay saw
+  // (flat-dialect files need not be time-sorted on disk).
+  const auto budget = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(adaptive.stats.avg_buffers())));
+  std::vector<std::vector<std::int64_t>> senders_by_rank(static_cast<std::size_t>(nranks));
+  for (const engine::Event& event : events) {
+    senders_by_rank[static_cast<std::size_t>(event.destination)].push_back(event.source);
+  }
+  std::int64_t lru_hits = 0;
+  std::int64_t lru_messages = 0;
+  for (const auto& senders : senders_by_rank) {
+    const auto lru = scale::replay_lru_buffers(senders, budget);
+    lru_hits += lru.hits;
+    lru_messages += lru.messages;
+  }
+  const double lru_rate =
+      lru_messages == 0 ? 0.0 : static_cast<double>(lru_hits) / static_cast<double>(lru_messages);
+
+  std::printf("  static per-peer : %4.1f buffers/process (%6.1f KiB), hit-rate 100.0%%\n",
+              static_cast<double>(nranks - 1), static_cast<double>(nranks - 1) * 16.0);
+  std::printf("  lru@%-2zu no-pred  : %4.1f buffers/process, hit-rate %5.1f%%\n", budget,
+              static_cast<double>(budget), bench::pct(lru_rate));
+  std::printf("  adaptive        : %4.1f buffers/process (peak %lld), hit-rate %5.1f%%,\n",
+              adaptive.stats.avg_buffers(), static_cast<long long>(adaptive.stats.peak_buffers),
+              bench::pct(adaptive.stats.hit_rate()));
+  std::printf("                    fallback asks %lld, rendezvous %lld (%lld elided = %.1f%% of "
+              "long messages)\n",
+              static_cast<long long>(adaptive.stats.prepost_misses),
+              static_cast<long long>(adaptive.stats.rendezvous_sends),
+              static_cast<long long>(adaptive.stats.rendezvous_elided),
+              bench::pct(adaptive.stats.elision_rate()));
+  std::printf("  deterministic across shards: %s\n", swept.deterministic ? "yes" : "NO");
+
+  bool gate_ok = true;
+  if (const trace::TraceStore* store = source->store()) {
+    const auto gate = ingest::verify_csv_round_trip(
+        *store, engine::EngineConfig{.predictor = predictor}, sweep);
+    gate_ok = gate.ok;
+    if (!gate.ok) {
+      std::fprintf(stderr, "round-trip gate FAILED: %s\n", gate.detail.c_str());
+    } else {
+      std::printf("  round-trip gate: ok (byte-identical engine reports across shards)\n");
+    }
+  }
+  return swept.deterministic && gate_ok ? 0 : 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   auto arg = engine::predictor_arg_or_exit(argc, argv);
   const std::size_t shards = bench::shards_flag(arg.rest, /*fallback=*/1);
+  const std::string trace_path = bench::string_flag(arg.rest, "--trace");
+  if (!trace_path.empty()) {
+    if (!arg.rest.empty()) {
+      std::fprintf(stderr, "unexpected argument '%s'\n", arg.rest.front().c_str());
+      return 1;
+    }
+    return run_trace_mode(trace_path, arg.name, shards);
+  }
   if (!arg.rest.empty()) {
     std::fprintf(stderr, "unexpected argument '%s'\n", arg.rest.front().c_str());
     return 1;

@@ -4,6 +4,7 @@
 // more kernels at Class A under the paper noise profile and prints the
 // rows/series of the corresponding paper table or figure.
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -123,6 +124,47 @@ inline std::size_t size_flag(std::vector<std::string>& rest, const std::string& 
 /// hardware thread (the engine default).
 inline std::size_t shards_flag(std::vector<std::string>& rest, std::size_t fallback = 0) {
   return size_flag(rest, "--shards", fallback);
+}
+
+/// Consumes every `<flag> <value>` / `<flag>=<value>` occurrence from
+/// `rest` and returns the last value, or "" when the flag is absent. Exits
+/// on a missing or empty value (a dangling `--trace` or an unset shell
+/// variable in `--trace=$FILE` must not silently run the default mode).
+inline std::string string_flag(std::vector<std::string>& rest, const std::string& flag) {
+  std::string value;
+  const auto take = [&](std::string v) {
+    if (v.empty()) {
+      std::fprintf(stderr, "%s requires a non-empty value\n", flag.c_str());
+      std::exit(1);
+    }
+    value = std::move(v);
+  };
+  for (auto it = rest.begin(); it != rest.end();) {
+    if (*it == flag) {
+      if (std::next(it) == rest.end()) {
+        std::fprintf(stderr, "%s requires a value\n", flag.c_str());
+        std::exit(1);
+      }
+      take(*std::next(it));
+      it = rest.erase(it, std::next(it, 2));
+    } else if (it->starts_with(flag + "=")) {
+      take(it->substr(flag.size() + 1));
+      it = rest.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return value;
+}
+
+/// The shard sweep the `--trace` round-trip gates run at: {1, 2, 4} plus
+/// the explicitly requested count when it is not already covered.
+inline std::vector<std::size_t> gate_shard_sweep(std::size_t shards) {
+  std::vector<std::size_t> sweep{1, 2, 4};
+  if (shards != 0 && std::find(sweep.begin(), sweep.end(), shards) == sweep.end()) {
+    sweep.push_back(shards);
+  }
+  return sweep;
 }
 
 inline void print_accuracy_grid_header(const char* what) {

@@ -3,7 +3,15 @@
 // and evaluate the paper's +1..+5 prediction accuracy for one process plus
 // the aggregate over every process's stream.
 //
+// The same pipeline also runs on externally captured traces: `--trace`
+// replays a CSV trace file (either dialect, see src/ingest/) through the
+// identical engine path, and `--export-trace` writes the simulated run's
+// trace out for later replay. Both modes enforce the round-trip gate — a
+// write_csv export re-ingested must produce byte-identical engine reports
+// across shard counts {1,2,4} — and exit 2 on any mismatch.
+//
 //   $ ./examples/predict_nas [app] [procs] [--predictor <name>] [--shards <n>]
+//                            [--export-trace <path>] [--trace <file>]
 //     (default: cg 8 --predictor dpd --shards 0 = one per hardware thread)
 
 #include <cstdio>
@@ -15,12 +23,17 @@
 #include "apps/registry.hpp"
 #include "bench/bench_util.hpp"
 #include "engine/engine.hpp"
+#include "ingest/source.hpp"
+#include "ingest/verify.hpp"
 #include "mpi/world.hpp"
+#include "trace/csv.hpp"
 #include "trace/stats.hpp"
 
 namespace {
 
-void print_report_block(const char* label, const mpipred::core::AccuracyReport& report) {
+using namespace mpipred;
+
+void print_report_block(const char* label, const core::AccuracyReport& report) {
   std::printf("  %-8s", label);
   for (std::size_t h = 1; h <= report.max_horizon(); ++h) {
     std::printf("  +%zu: %5.1f%%", h, 100.0 * report.at(h).accuracy());
@@ -28,13 +41,84 @@ void print_report_block(const char* label, const mpipred::core::AccuracyReport& 
   std::printf("\n");
 }
 
+/// One level's block, shared by the simulator and replay paths so the two
+/// outputs stay diffable line for line.
+void print_level_report(trace::Level level, const engine::EngineReport& report, int rep_rank,
+                        int nprocs, std::size_t shards) {
+  std::printf("%s level (%lld messages over %zu streams on %zu engine shards, state %.1f KiB):\n",
+              std::string(to_string(level)).c_str(), static_cast<long long>(report.events),
+              report.streams.size(), engine::effective_shard_count(shards),
+              static_cast<double>(report.total_footprint_bytes) / 1024.0);
+  for (const auto& stream : report.streams) {
+    if (stream.key.destination != rep_rank) {
+      continue;
+    }
+    std::printf(" process %d (%lld messages):\n", rep_rank,
+                static_cast<long long>(stream.events));
+    print_report_block("senders:", stream.senders);
+    print_report_block("sizes:", stream.sizes);
+  }
+  std::printf(" aggregate over all %d processes:\n", nprocs);
+  print_report_block("senders:", report.aggregate_senders);
+  print_report_block("sizes:", report.aggregate_sizes);
+}
+
+int replay_trace(const std::string& path, const engine::EngineConfig& cfg) {
+  std::unique_ptr<ingest::TraceSource> source;
+  try {
+    source = ingest::open_trace(path);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  std::printf("replaying %s (format %s, %d ranks), predictor %s...\n", path.c_str(),
+              std::string(source->format()).c_str(), source->nranks(), cfg.predictor.c_str());
+  const trace::TraceStore* store = source->store();
+  const int rep =
+      store == nullptr ? -1 : trace::representative_rank(*store, source->levels().front());
+  std::printf("  representative process: %d\n\n", rep);
+
+  for (const trace::Level level : source->levels()) {
+    engine::PredictionEngine eng(cfg);
+    eng.observe_all(source->events(level));
+    print_level_report(level, eng.report(), rep, source->nranks(), cfg.shards);
+  }
+
+  if (store != nullptr) {
+    const auto sweep = bench::gate_shard_sweep(cfg.shards);
+    const auto gate = ingest::verify_csv_round_trip(*store, cfg, sweep);
+    if (!gate.ok) {
+      std::fprintf(stderr, "round-trip gate FAILED: %s\n", gate.detail.c_str());
+      return 2;
+    }
+    std::printf("\nround-trip gate: ok (byte-identical engine reports across shards {1,2,4})\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  using namespace mpipred;
   auto predictor_arg = engine::predictor_arg_or_exit(argc, argv);
   const std::string& predictor = predictor_arg.name;
   const std::size_t shards = bench::shards_flag(predictor_arg.rest);
+  const std::string trace_path = bench::string_flag(predictor_arg.rest, "--trace");
+  const std::string export_path = bench::string_flag(predictor_arg.rest, "--export-trace");
+  const engine::EngineConfig cfg{.predictor = predictor, .shards = shards};
+
+  if (!trace_path.empty()) {
+    if (!predictor_arg.rest.empty()) {
+      std::fprintf(stderr, "unexpected argument '%s' (positionals do not combine with --trace)\n",
+                   predictor_arg.rest.front().c_str());
+      return 1;
+    }
+    if (!export_path.empty()) {
+      std::fprintf(stderr, "--export-trace requires a simulated run; it does not combine with "
+                           "--trace\n");
+      return 1;
+    }
+    return replay_trace(trace_path, cfg);
+  }
 
   std::string app = "cg";
   int procs = 8;
@@ -65,26 +149,22 @@ int main(int argc, char** argv) {
   std::printf("  representative process: %d\n\n", rank);
 
   for (const auto level : {trace::Level::Logical, trace::Level::Physical}) {
-    const auto report = engine::run_over_trace(
-        world.traces(), level, engine::EngineConfig{.predictor = predictor, .shards = shards});
-    std::printf(
-        "%s level (%lld messages over %zu streams on %zu engine shards, state %.1f KiB):\n",
-        std::string(to_string(level)).c_str(), static_cast<long long>(report.events),
-        report.streams.size(), engine::effective_shard_count(shards),
-        static_cast<double>(report.total_footprint_bytes) / 1024.0);
-    for (const auto& stream : report.streams) {
-      if (stream.key.destination != rank) {
-        continue;
-      }
-      std::printf(" process %d (%lld messages):\n", rank, static_cast<long long>(stream.events));
-      print_report_block("senders:", stream.senders);
-      print_report_block("sizes:", stream.sizes);
-    }
-    std::printf(" aggregate over all %d processes:\n", procs);
-    print_report_block("senders:", report.aggregate_senders);
-    print_report_block("sizes:", report.aggregate_sizes);
+    const auto report = engine::run_over_trace(world.traces(), level, cfg);
+    print_level_report(level, report, rank, procs, shards);
   }
   std::printf("\n(the logical level is a pure function of the program; the physical level\n"
               " adds the simulated machine's random effects — compare the two blocks)\n");
+
+  if (!export_path.empty()) {
+    trace::write_csv_file(export_path, world.traces());
+    const auto sweep = bench::gate_shard_sweep(shards);
+    const auto gate = ingest::verify_csv_round_trip(world.traces(), cfg, sweep);
+    if (!gate.ok) {
+      std::fprintf(stderr, "round-trip gate FAILED after export to %s: %s\n", export_path.c_str(),
+                   gate.detail.c_str());
+      return 2;
+    }
+    std::printf("\nexported trace to %s (round-trip gate: ok)\n", export_path.c_str());
+  }
   return 0;
 }

@@ -1,0 +1,73 @@
+#pragma once
+
+// Configuration of the adaptive runtime, split from policy.hpp/service.hpp
+// so `mpi::WorldConfig` (which embeds a RuntimeConfig by value) compiles
+// against the engine's lightweight config surface instead of dragging the
+// full engine and predictor headers into every MPI translation unit.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "engine/config.hpp"
+
+namespace mpipred::adaptive {
+
+struct PolicyConfig {
+  /// Predictions below this observed +1 accuracy are ignored (the stream
+  /// falls back to static behavior). 0.0 accepts any prediction — the §2
+  /// replays' historical behavior.
+  double min_confidence = 0.0;
+  /// Per pre-posted eager buffer (the IBM MPI figure the paper quotes).
+  std::int64_t buffer_bytes = 16 * 1024;
+  /// Buffers additionally retained for the most recently seen senders
+  /// (small LRU so a briefly mispredicted regular sender is not evicted).
+  std::size_t lru_keep = 3;
+  /// Messages above this size use rendezvous unless elided.
+  std::int64_t rendezvous_threshold_bytes = 16 * 1024;
+  /// A granted credit reserves the predicted size rounded up to this
+  /// granule (buffers come from a pool of fixed-size slots).
+  std::int64_t credit_granule_bytes = 1024;
+};
+
+struct ServiceConfig {
+  /// Predictor family, options and shard count shared by both engine
+  /// views. The key policy field is ignored: the service fixes its own
+  /// policies (see service.hpp).
+  engine::EngineConfig engine{};
+  /// Split streams by tag as well as by endpoint (off reproduces the
+  /// paper's per-receiver setup, where the tag rides along as data).
+  bool by_tag = false;
+};
+
+/// Configuration of the closed loop inside the simulated MPI library
+/// (`mpi::WorldConfig::adaptive`). When enabled, the World owns one
+/// AdaptivePolicy, every physical arrival feeds it, unexpected eager
+/// arrivals from predicted senders park in pre-posted (pledged) memory
+/// instead of the unbounded unexpected pool, and large sends the receiver
+/// anticipated skip the rendezvous handshake. Decisions depend only on
+/// per-stream predictor state, so a run is bit-identical across
+/// `service.engine.shards` values.
+struct RuntimeConfig {
+  /// Live-loop defaults, tuned on the NAS traces: the pre-post plan must
+  /// cover a receiver's whole frequent-sender set (BT has 6 neighbors, so
+  /// a +5 window alone is one short — horizon 8 and an LRU tail of 6
+  /// carry BT from ~98.3% to ~99.8% pre-post hits at the same residency).
+  RuntimeConfig() {
+    service.engine.options.horizon = 8;
+    policy.lru_keep = 6;
+  }
+
+  bool enabled = false;
+  /// (a) pre-post eager buffers for predicted senders; misses take the
+  /// slow ask-permission fallback (counted, and charged to the unexpected
+  /// pool as today).
+  bool prepost_buffers = true;
+  /// (b) elide RTS/CTS for large messages the receiver anticipated.
+  bool elide_rendezvous = true;
+  ServiceConfig service{};
+  /// policy.rendezvous_threshold_bytes is overridden with the world's
+  /// eager threshold so the two protocol cutoffs cannot diverge.
+  PolicyConfig policy{};
+};
+
+}  // namespace mpipred::adaptive

@@ -12,19 +12,10 @@
 #include <span>
 #include <vector>
 
+#include "adaptive/config.hpp"
 #include "engine/engine.hpp"
 
 namespace mpipred::adaptive {
-
-struct ServiceConfig {
-  /// Predictor family, options and shard count shared by both engine
-  /// views. The key policy field is ignored: the service fixes its own
-  /// policies (see below).
-  engine::EngineConfig engine{};
-  /// Split streams by tag as well as by endpoint (off reproduces the
-  /// paper's per-receiver setup, where the tag rides along as data).
-  bool by_tag = false;
-};
 
 /// One answer to "what arrives at `destination` next".
 struct Prediction {

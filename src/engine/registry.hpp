@@ -7,26 +7,10 @@
 #include <string_view>
 #include <vector>
 
-#include "core/dpd.hpp"
 #include "core/predictor.hpp"
+#include "engine/config.hpp"
 
 namespace mpipred::engine {
-
-/// Knobs understood by the built-in predictor factories. One options
-/// struct covers every family: a factory reads the fields it cares about
-/// and ignores the rest, so a sweep can hand the same options to all names.
-struct PredictorOptions {
-  /// Longest horizon (+1 ... +horizon); every family honors this.
-  std::size_t horizon = 5;
-  /// DPD tuning, used by `dpd` and `dpd-window`.
-  core::DpdConfig dpd{};
-  /// `dpd` only: repeat the last value while no period is detected.
-  bool last_value_fallback = false;
-  /// `markov` only: context length of the transition table.
-  std::size_t markov_order = 1;
-  /// `cycle` only: ring-buffer length for history replay.
-  std::size_t cycle_history = 512;
-};
 
 /// Name -> factory map over all predictor families, so any predictor is
 /// constructible from a string (CLI flag, config file, sweep loop). The

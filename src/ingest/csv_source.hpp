@@ -1,0 +1,57 @@
+#pragma once
+
+// The two CSV dialects the ingest boundary accepts:
+//
+//  * native — `rank,level,time_ns,sender,bytes,kind,op`: the schema
+//    trace::write_csv emits, one line per (receiver rank, level) record.
+//  * flat   — `time_ns,sender,receiver,bytes[,kind]`: one line per
+//    delivered message, the shape external capture tools typically log.
+//    Lines need not be time-sorted; ingestion orders them. Flat traces
+//    carry arrival data only, so they expose just the Physical level.
+//
+// Both dialects accept `#` comment lines anywhere and, before the header,
+// `# key: value` directives: `# mpipred-trace: v1` (schema version; other
+// versions are rejected) and `# nranks: N` (declares the rank count, which
+// is otherwise inferred as max observed rank + 1). Lines may end in CRLF.
+// Every rejected line raises IngestError with file:line, the offending
+// field, and the reason — never an assert.
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "ingest/source.hpp"
+#include "trace/store.hpp"
+
+namespace mpipred::ingest {
+
+class CsvTraceSource final : public TraceSource {
+ public:
+  enum class Dialect { Native, Flat };
+
+  /// Parses a whole stream (dialect detected from the header); throws
+  /// IngestError on the first malformed line. `file` labels diagnostics.
+  [[nodiscard]] static std::unique_ptr<CsvTraceSource> parse(std::istream& is,
+                                                             const std::string& file);
+
+  [[nodiscard]] std::string_view format() const noexcept override;
+  [[nodiscard]] int nranks() const noexcept override { return store_.nranks(); }
+  [[nodiscard]] std::vector<trace::Level> levels() const override;
+  [[nodiscard]] std::vector<engine::Event> events(trace::Level level) const override;
+  [[nodiscard]] const trace::TraceStore* store() const noexcept override { return &store_; }
+
+  [[nodiscard]] Dialect dialect() const noexcept { return dialect_; }
+
+ private:
+  CsvTraceSource(Dialect dialect, trace::TraceStore store)
+      : dialect_(dialect), store_(std::move(store)) {}
+
+  Dialect dialect_;
+  trace::TraceStore store_;
+};
+
+/// Registers the two dialects ("csv", "csv-flat") with `registry`; called
+/// once by TraceFormatRegistry::instance().
+void register_csv_formats(TraceFormatRegistry& registry);
+
+}  // namespace mpipred::ingest

@@ -1,0 +1,55 @@
+#include "ingest/replay.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace mpipred::ingest {
+
+std::string AdaptiveReplay::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "messages=%lld hits=%lld misses=%lld avg_buffers=%.6f peak_buffers=%lld "
+                "eager=%lld rendezvous=%lld elided=%lld",
+                static_cast<long long>(stats.messages), static_cast<long long>(stats.prepost_hits),
+                static_cast<long long>(stats.prepost_misses), stats.avg_buffers(),
+                static_cast<long long>(stats.peak_buffers),
+                static_cast<long long>(stats.eager_sends),
+                static_cast<long long>(stats.rendezvous_sends),
+                static_cast<long long>(stats.rendezvous_elided));
+  return buf;
+}
+
+AdaptiveReplay replay_adaptive(std::span<const engine::Event> events,
+                               const adaptive::RuntimeConfig& cfg) {
+  adaptive::AdaptivePolicy policy(cfg.service, cfg.policy);
+  for (const engine::Event& event : events) {
+    // The sender's protocol decision at post time, then the receiver's
+    // arrival path — the order the live endpoint drives the policy in.
+    (void)policy.choose_protocol(event);
+    (void)policy.on_arrival(event);
+  }
+  return {.stats = policy.stats()};
+}
+
+SweptReplay replay_adaptive_swept(std::span<const engine::Event> events,
+                                  adaptive::RuntimeConfig cfg,
+                                  std::span<const std::size_t> shard_counts) {
+  SweptReplay out;
+  std::string reference;
+  for (const std::size_t shards : shard_counts) {
+    cfg.service.engine.shards = shards;
+    AdaptiveReplay replay = replay_adaptive(events, cfg);
+    const std::string summary = replay.summary();
+    if (reference.empty()) {
+      out.replay = std::move(replay);
+      reference = summary;
+    } else if (out.deterministic && summary != reference) {
+      out.deterministic = false;
+      out.mismatch = "shards=" + std::to_string(shards) + ":\n  ref : " + reference +
+                     "\n  got : " + summary;
+    }
+  }
+  return out;
+}
+
+}  // namespace mpipred::ingest

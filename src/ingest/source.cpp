@@ -1,0 +1,105 @@
+#include "ingest/source.hpp"
+
+#include <fstream>
+#include <istream>
+#include <utility>
+
+#include "ingest/csv_source.hpp"
+
+namespace mpipred::ingest {
+
+std::string to_string(const Diagnostic& d) {
+  std::string out = d.file;
+  if (d.line != 0) {
+    out += ":" + std::to_string(d.line);
+  }
+  out += ": ";
+  if (!d.field.empty()) {
+    out += "field '" + d.field + "': ";
+  }
+  out += d.reason;
+  return out;
+}
+
+TraceFormatRegistry& TraceFormatRegistry::instance() {
+  static TraceFormatRegistry registry = [] {
+    TraceFormatRegistry r;
+    register_csv_formats(r);
+    return r;
+  }();
+  return registry;
+}
+
+void TraceFormatRegistry::add(TraceFormat format) {
+  for (const TraceFormat& existing : formats_) {
+    if (existing.name == format.name) {
+      throw UsageError("trace format '" + format.name + "' registered twice");
+    }
+  }
+  formats_.push_back(std::move(format));
+}
+
+std::vector<std::string> TraceFormatRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(formats_.size());
+  for (const TraceFormat& f : formats_) {
+    out.push_back(f.name);
+  }
+  return out;
+}
+
+namespace {
+
+/// First non-empty, non-comment line with any trailing '\r' removed — the
+/// probe every format's `matches` sees. Empty when the stream has none.
+std::string first_meaningful_line(std::istream& is) {
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (line.empty() || line.front() == '#') {
+      continue;
+    }
+    return line;
+  }
+  return {};
+}
+
+}  // namespace
+
+std::unique_ptr<TraceSource> TraceFormatRegistry::open(std::istream& is,
+                                                       const std::string& file) const {
+  const std::string probe = first_meaningful_line(is);
+  is.clear();
+  is.seekg(0);
+  if (!is) {
+    throw IngestError({.file = file, .reason = "stream is not seekable (cannot rewind probe)"});
+  }
+  for (const TraceFormat& f : formats_) {
+    if (f.matches(probe)) {
+      return f.open(is, file);
+    }
+  }
+  std::string known;
+  for (const TraceFormat& f : formats_) {
+    known += (known.empty() ? "" : ", ") + f.name;
+  }
+  throw IngestError({.file = file,
+                     .reason = "no registered trace format matches header '" + probe +
+                               "' (known formats: " + known + ")"});
+}
+
+std::unique_ptr<TraceSource> open_trace(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw IngestError({.file = path, .reason = "cannot open for reading"});
+  }
+  return TraceFormatRegistry::instance().open(is, path);
+}
+
+std::unique_ptr<TraceSource> open_trace_stream(std::istream& is, const std::string& label) {
+  return TraceFormatRegistry::instance().open(is, label);
+}
+
+}  // namespace mpipred::ingest

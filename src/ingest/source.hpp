@@ -1,0 +1,131 @@
+#pragma once
+
+// Trace ingestion: the boundary where externally captured traces (CSV
+// today, OTF2-style formats tomorrow) become the time-ordered
+// engine::Event streams every consumer of this repo understands. A
+// TraceSource hides the format behind one interface; the format registry
+// probes a file's header and dispatches to the right parser, so benches
+// and examples take `--trace <file>` without knowing any format by name.
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+#include "engine/config.hpp"
+#include "trace/event.hpp"
+
+namespace mpipred::trace {
+class TraceStore;
+}  // namespace mpipred::trace
+
+namespace mpipred::ingest {
+
+/// One parse problem, pinned to its location: unlike the simulator-side
+/// readers (which may assert — their input is our own output), ingestion
+/// faces hostile files and must say exactly where and why a line was
+/// rejected.
+struct Diagnostic {
+  /// Path of the offending file, or a "<label>" for in-memory streams.
+  std::string file;
+  /// 1-based line number; 0 for whole-file problems (missing header, ...).
+  std::size_t line = 0;
+  /// Name of the offending field ("sender", "op", ...); empty when the
+  /// problem is the whole line or file.
+  std::string field;
+  std::string reason;
+};
+
+/// "file:12: field 'op': value 99 outside [0, 12)" — file:line first, so
+/// editors and CI logs can jump to the offending input line.
+[[nodiscard]] std::string to_string(const Diagnostic& d);
+
+/// Raised on any malformed ingest input; carries the structured location
+/// so callers can report or collect diagnostics instead of string-parsing
+/// what().
+class IngestError : public Error {
+ public:
+  explicit IngestError(Diagnostic d) : Error(to_string(d)), diag_(std::move(d)) {}
+
+  [[nodiscard]] const Diagnostic& where() const noexcept { return diag_; }
+
+ private:
+  Diagnostic diag_;
+};
+
+/// One fully ingested trace, abstracted over its on-disk format. All
+/// parsing and validation happen at open time — a constructed source can
+/// no longer fail, and its accessors are cheap.
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  /// Registry name of the format this source was parsed from.
+  [[nodiscard]] virtual std::string_view format() const noexcept = 0;
+
+  /// Ranks covered: declared by the file, or inferred as max rank + 1.
+  [[nodiscard]] virtual int nranks() const noexcept = 0;
+
+  /// Instrumentation levels this format carries, in enum order. Formats
+  /// recording arrivals only (the flat CSV dialect) report just Physical.
+  [[nodiscard]] virtual std::vector<trace::Level> levels() const = 0;
+
+  /// The trace of `level` as a time-ordered global event stream (a stable
+  /// merge of the per-rank record streams, so ties keep rank-major order —
+  /// the same order a live simulator trace produces), exactly what
+  /// engine::PredictionEngine::observe_all and the adaptive replays
+  /// consume. Levels outside levels() yield empty.
+  [[nodiscard]] virtual std::vector<engine::Event> events(trace::Level level) const = 0;
+
+  /// The underlying record store when the format captures full per-rank
+  /// records (the CSV dialects do); nullptr for event-only formats. The
+  /// round-trip gate re-exports it through trace::write_csv.
+  [[nodiscard]] virtual const trace::TraceStore* store() const noexcept { return nullptr; }
+};
+
+/// One pluggable trace format. `matches` probes the first meaningful line
+/// (comments and blanks skipped, CR stripped); `open` parses the whole
+/// stream, labeling diagnostics with `file`, and throws IngestError on the
+/// first malformed line.
+struct TraceFormat {
+  std::string name;
+  std::function<bool(std::string_view first_line)> matches;
+  std::function<std::unique_ptr<TraceSource>(std::istream& is, const std::string& file)> open;
+};
+
+/// Name -> format map the `--trace` flag dispatches through. The CSV
+/// dialects are built in; OTF2-style readers register the same way from
+/// their own translation unit.
+class TraceFormatRegistry {
+ public:
+  [[nodiscard]] static TraceFormatRegistry& instance();
+
+  /// Registers `format`; throws UsageError on a duplicate name.
+  void add(TraceFormat format);
+
+  /// Registered names, in registration order (probe order).
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Probes `is` (which must be seekable: the first meaningful line is
+  /// read and the stream rewound) and parses it with the first matching
+  /// format. Throws IngestError when no format claims the header.
+  [[nodiscard]] std::unique_ptr<TraceSource> open(std::istream& is, const std::string& file) const;
+
+ private:
+  std::vector<TraceFormat> formats_;
+};
+
+/// Opens `path` through the format registry; throws IngestError on an
+/// unreadable file, unknown format, or malformed content.
+[[nodiscard]] std::unique_ptr<TraceSource> open_trace(const std::string& path);
+
+/// Stream variant for tests and in-memory round trips; `label` names the
+/// stream in diagnostics.
+[[nodiscard]] std::unique_ptr<TraceSource> open_trace_stream(std::istream& is,
+                                                             const std::string& label = "<stream>");
+
+}  // namespace mpipred::ingest

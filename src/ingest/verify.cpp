@@ -1,0 +1,61 @@
+#include "ingest/verify.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "ingest/source.hpp"
+#include "trace/csv.hpp"
+
+namespace mpipred::ingest {
+
+namespace {
+
+engine::EngineReport report_over(std::span<const engine::Event> events,
+                                 const engine::EngineConfig& cfg, std::size_t shards) {
+  engine::EngineConfig run = cfg;
+  run.shards = shards;
+  engine::PredictionEngine eng(run);
+  eng.observe_all(events);
+  return eng.report();
+}
+
+}  // namespace
+
+RoundTripResult verify_csv_round_trip(const trace::TraceStore& store,
+                                      const engine::EngineConfig& cfg,
+                                      std::span<const std::size_t> shard_counts) {
+  if (shard_counts.empty()) {
+    return {.ok = false, .detail = "no shard counts requested"};
+  }
+  std::stringstream csv;
+  trace::write_csv(csv, store);
+  std::unique_ptr<TraceSource> source;
+  try {
+    source = open_trace_stream(csv, "<round-trip>");
+  } catch (const IngestError& e) {
+    return {.ok = false, .detail = std::string("re-ingest failed: ") + e.what()};
+  }
+  for (const auto level : {trace::Level::Logical, trace::Level::Physical}) {
+    const std::string label = std::string(trace::to_string(level));
+    const auto direct = engine::events_from_trace(store, level);
+    const auto ingested = source->events(level);
+    if (direct != ingested) {
+      return {.ok = false,
+              .detail = label + " level: ingested event stream differs from the store's (" +
+                        std::to_string(ingested.size()) + " vs " + std::to_string(direct.size()) +
+                        " events)"};
+    }
+    const auto reference = report_over(direct, cfg, shard_counts.front());
+    for (const std::size_t shards : shard_counts) {
+      if (report_over(ingested, cfg, shards) != reference) {
+        return {.ok = false,
+                .detail = label + " level: report over ingested events at shards=" +
+                          std::to_string(shards) + " differs from the direct report (predictor " +
+                          cfg.predictor + ")"};
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace mpipred::ingest

@@ -1,0 +1,33 @@
+#pragma once
+
+// The reproducibility gate at the ingest boundary: a trace exported with
+// trace::write_csv and re-ingested through the CSV source must drive the
+// prediction engine to a byte-identical EngineReport — for every level,
+// at every requested shard count. Benches taking `--trace` run this gate
+// and exit 2 on mismatch, so replayed numbers can never silently drift
+// from simulated ones.
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "engine/engine.hpp"
+#include "trace/store.hpp"
+
+namespace mpipred::ingest {
+
+struct RoundTripResult {
+  bool ok = true;
+  /// First mismatch (level, shard count, what differed); empty when ok.
+  std::string detail;
+};
+
+/// Exports `store` as CSV in memory, re-ingests it, and compares the
+/// engine report over the ingested events against the report over the
+/// store's own events — per level, at every shard count in
+/// `shard_counts` (the first entry computes the reference).
+[[nodiscard]] RoundTripResult verify_csv_round_trip(const trace::TraceStore& store,
+                                                    const engine::EngineConfig& cfg,
+                                                    std::span<const std::size_t> shard_counts);
+
+}  // namespace mpipred::ingest

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "adaptive/policy.hpp"
 #include "common/assert.hpp"
 #include "common/error.hpp"
 #include "mpi/world.hpp"

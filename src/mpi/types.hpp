@@ -4,7 +4,7 @@
 #include <cstdint>
 #include <string_view>
 
-#include "adaptive/policy.hpp"
+#include "adaptive/config.hpp"
 #include "sim/config.hpp"
 
 namespace mpipred::mpi {

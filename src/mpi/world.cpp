@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "adaptive/policy.hpp"
 #include "common/assert.hpp"
 #include "mpi/communicator.hpp"
 

@@ -5,11 +5,14 @@
 #include <memory>
 #include <vector>
 
-#include "adaptive/policy.hpp"
 #include "mpi/detail/endpoint.hpp"
 #include "mpi/types.hpp"
 #include "sim/engine.hpp"
 #include "trace/store.hpp"
+
+namespace mpipred::adaptive {
+class AdaptivePolicy;
+}  // namespace mpipred::adaptive
 
 namespace mpipred::mpi {
 

@@ -8,12 +8,13 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "trace/csv_util.hpp"
 
 namespace mpipred::trace {
 
 namespace {
 
-constexpr std::string_view kHeader = "rank,level,time_ns,sender,bytes,kind,op";
+constexpr std::string_view kHeader = csv_util::kNativeHeader;
 
 template <typename T>
 T parse_int(std::string_view field, std::string_view what) {
@@ -28,24 +29,14 @@ T parse_int(std::string_view field, std::string_view what) {
   return value;
 }
 
-std::vector<std::string_view> split(std::string_view line) {
-  std::vector<std::string_view> fields;
-  std::size_t start = 0;
-  while (true) {
-    const std::size_t comma = line.find(',', start);
-    if (comma == std::string_view::npos) {
-      fields.push_back(line.substr(start));
-      break;
-    }
-    fields.push_back(line.substr(start, comma - start));
-    start = comma + 1;
-  }
-  return fields;
-}
-
 }  // namespace
 
 void write_csv(std::ostream& os, const TraceStore& store) {
+  // The versioned preamble lets re-ingestion (src/ingest/) recover the
+  // exact rank count even when the top ranks logged no records; read_csv
+  // below and older readers skip '#' lines.
+  os << "# mpipred-trace: v1\n";
+  os << "# nranks: " << store.nranks() << '\n';
   os << kHeader << '\n';
   for (int rank = 0; rank < store.nranks(); ++rank) {
     for (const Level level : {Level::Logical, Level::Physical}) {
@@ -70,15 +61,34 @@ void write_csv_file(const std::string& path, const TraceStore& store) {
 }
 
 TraceStore read_csv(std::istream& is, int nranks) {
+  using csv_util::split;
+  using csv_util::strip_cr;
   TraceStore store(nranks);
-  std::string line;
-  if (!std::getline(is, line) || line != kHeader) {
+  std::string raw;
+  std::size_t lineno = 0;
+  // Preamble: '#' comment/directive lines (this reader trusts its caller
+  // for the rank count, so directives are skipped, not interpreted) and
+  // blanks up to the mandatory header.
+  bool header_seen = false;
+  while (std::getline(is, raw)) {
+    ++lineno;
+    const std::string_view line = strip_cr(raw);
+    if (line.empty() || line.front() == '#') {
+      continue;
+    }
+    if (line != kHeader) {
+      throw Error("trace csv: missing or unexpected header");
+    }
+    header_seen = true;
+    break;
+  }
+  if (!header_seen) {
     throw Error("trace csv: missing or unexpected header");
   }
-  std::size_t lineno = 1;
-  while (std::getline(is, line)) {
+  while (std::getline(is, raw)) {
     ++lineno;
-    if (line.empty()) {
+    const std::string_view line = strip_cr(raw);
+    if (line.empty() || line.front() == '#') {
       continue;
     }
     const auto fields = split(line);
@@ -87,6 +97,10 @@ TraceStore read_csv(std::istream& is, int nranks) {
                   std::to_string(fields.size()) + " fields, expected 7");
     }
     const int rank = parse_int<int>(fields[0], "rank");
+    if (rank < 0 || rank >= nranks) {
+      throw Error("trace csv: line " + std::to_string(lineno) + " has rank " +
+                  std::to_string(rank) + " outside [0, " + std::to_string(nranks) + ")");
+    }
     const int level_raw = parse_int<int>(fields[1], "level");
     if (level_raw < 0 || level_raw >= kNumLevels) {
       throw Error("trace csv: line " + std::to_string(lineno) + " has invalid level");
@@ -100,7 +114,11 @@ TraceStore read_csv(std::istream& is, int nranks) {
       throw Error("trace csv: line " + std::to_string(lineno) + " has invalid kind");
     }
     rec.kind = static_cast<OpKind>(kind_raw);
-    rec.op = static_cast<Op>(parse_int<int>(fields[6], "op"));
+    const int op_raw = parse_int<int>(fields[6], "op");
+    if (op_raw < 0 || op_raw >= kNumOps) {
+      throw Error("trace csv: line " + std::to_string(lineno) + " has invalid op");
+    }
+    rec.op = static_cast<Op>(op_raw);
     store.append(rank, static_cast<Level>(level_raw), rec);
   }
   return store;

@@ -32,6 +32,8 @@ enum class OpKind : std::uint8_t { PointToPoint = 0, Collective = 1 };
 }
 
 /// The library operation a record was produced by (diagnostics / filters).
+/// Values are contiguous from 0; kNumOps below must track the last entry
+/// (readers validate serialized op fields against it).
 enum class Op : std::uint8_t {
   Recv,
   Barrier,
@@ -46,6 +48,9 @@ enum class Op : std::uint8_t {
   ReduceScatter,
   Scan,
 };
+
+/// Number of Op values; `static_cast<Op>(x)` is valid iff 0 <= x < kNumOps.
+inline constexpr int kNumOps = static_cast<int>(Op::Scan) + 1;
 
 [[nodiscard]] constexpr std::string_view to_string(Op op) noexcept {
   switch (op) {

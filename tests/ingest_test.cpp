@@ -1,0 +1,268 @@
+// The trace-ingestion boundary: dialect parsing, per-line diagnostics,
+// the format registry, and the round-trip determinism gate — a simulator
+// trace exported via write_csv and re-ingested must drive the engine to a
+// byte-identical report for every registry predictor and shard count.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "apps/app.hpp"
+#include "engine/engine.hpp"
+#include "engine/registry.hpp"
+#include "ingest/csv_source.hpp"
+#include "ingest/replay.hpp"
+#include "ingest/source.hpp"
+#include "ingest/verify.hpp"
+#include "mpi/world.hpp"
+#include "trace/csv.hpp"
+
+namespace mpipred::ingest {
+namespace {
+
+std::unique_ptr<TraceSource> parse(const std::string& text) {
+  std::stringstream ss(text);
+  return open_trace_stream(ss, "<test>");
+}
+
+Diagnostic reject(const std::string& text) {
+  std::stringstream ss(text);
+  try {
+    (void)open_trace_stream(ss, "<test>");
+  } catch (const IngestError& e) {
+    return e.where();
+  }
+  ADD_FAILURE() << "expected IngestError for:\n" << text;
+  return {};
+}
+
+constexpr const char* kNative = "rank,level,time_ns,sender,bytes,kind,op\n";
+constexpr const char* kFlat = "time_ns,sender,receiver,bytes\n";
+
+TEST(CsvSource, NativeDialectMatchesStoreAndEngineEvents) {
+  trace::TraceStore store(3);
+  store.append(0, trace::Level::Logical,
+               {.time = sim::SimTime{5}, .sender = 1, .bytes = 100});
+  store.append(0, trace::Level::Physical,
+               {.time = sim::SimTime{9}, .sender = 2, .bytes = 200});
+  store.append(2, trace::Level::Logical,
+               {.time = sim::SimTime{1},
+                .sender = 0,
+                .bytes = 50,
+                .kind = trace::OpKind::Collective,
+                .op = trace::Op::Allreduce});
+  std::stringstream csv;
+  trace::write_csv(csv, store);
+
+  const auto source = open_trace_stream(csv, "<test>");
+  EXPECT_EQ(source->format(), "csv");
+  EXPECT_EQ(source->nranks(), 3);  // declared by write_csv's preamble
+  ASSERT_NE(source->store(), nullptr);
+  for (int r = 0; r < 3; ++r) {
+    for (const auto level : {trace::Level::Logical, trace::Level::Physical}) {
+      const auto a = store.records(r, level);
+      const auto b = source->store()->records(r, level);
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i], b[i]);
+      }
+      EXPECT_EQ(source->events(level), engine::events_from_trace(store, level));
+    }
+  }
+}
+
+TEST(CsvSource, DiagnosticsNameFileLineFieldAndReason) {
+  // One malformed line per validated field; every rejection must carry the
+  // exact location instead of asserting or producing a bogus record.
+  const struct {
+    const char* line;
+    const char* field;
+  } corpus[] = {
+      {"0,0,1,2,3,0,99", "op"},       // out-of-range enum (csv.cpp:103 bug)
+      {"0,0,1,2,3,0,-1", "op"},       //
+      {"0,0,1,2,3,7,0", "kind"},      //
+      {"0,9,1,2,3,0,0", "level"},     //
+      {"-1,0,1,2,3,0,0", "rank"},     // negative receiver rank
+      {"0,0,1,-2,3,0,0", "sender"},   // below kUnresolvedSender
+      {"0,0,xx,2,3,0,0", "time_ns"},  // malformed integer
+      {"0,0,1,2,-3,0,0", "bytes"},    // negative byte count
+  };
+  for (const auto& c : corpus) {
+    const Diagnostic d = reject(std::string(kNative) + c.line + "\n");
+    EXPECT_EQ(d.file, "<test>");
+    EXPECT_EQ(d.line, 2u) << c.line;
+    EXPECT_EQ(d.field, c.field) << c.line;
+    EXPECT_FALSE(d.reason.empty());
+  }
+  const Diagnostic short_line = reject(std::string(kNative) + "0,0,1,2\n");
+  EXPECT_EQ(short_line.line, 2u);
+  EXPECT_NE(short_line.reason.find("expected 7"), std::string::npos);
+}
+
+TEST(CsvSource, ToStringFormatsEditorFriendlyLocation) {
+  const Diagnostic d = reject(std::string(kNative) + "0,0,1,2,3,0,99\n");
+  EXPECT_EQ(to_string(d).rfind("<test>:2: field 'op': ", 0), 0u) << to_string(d);
+}
+
+TEST(CsvSource, CrlfAndCommentsAccepted) {
+  const auto source = parse("# exported by some windows tool\r\n"
+                            "rank,level,time_ns,sender,bytes,kind,op\r\n"
+                            "0,0,1,1,64,0,0\r\n"
+                            "# a comment between data lines\r\n"
+                            "1,1,2,0,128,1,4\r\n");
+  ASSERT_NE(source->store(), nullptr);
+  EXPECT_EQ(source->store()->total_records(trace::Level::Logical), 1u);
+  EXPECT_EQ(source->store()->total_records(trace::Level::Physical), 1u);
+  EXPECT_EQ(source->store()->records(1, trace::Level::Physical)[0].op, trace::Op::Allreduce);
+}
+
+TEST(CsvSource, VersionDirectiveGatesUnsupportedSchemas) {
+  EXPECT_NO_THROW(parse(std::string("# mpipred-trace: v1\n") + kNative));
+  const Diagnostic d = reject(std::string("# mpipred-trace: v7\n") + kNative);
+  EXPECT_EQ(d.line, 1u);
+  EXPECT_NE(d.reason.find("v7"), std::string::npos);
+}
+
+TEST(CsvSource, NranksDirectiveDeclaresAndBounds) {
+  const auto source = parse(std::string("# nranks: 6\n") + kNative + "0,0,1,1,64,0,0\n");
+  EXPECT_EQ(source->nranks(), 6);  // declared beats inference (max rank 1)
+
+  const Diagnostic rank_over = reject(std::string("# nranks: 2\n") + kNative + "5,0,1,1,64,0,0\n");
+  EXPECT_EQ(rank_over.field, "rank");
+  EXPECT_EQ(rank_over.line, 3u);
+  const Diagnostic sender_over =
+      reject(std::string("# nranks: 2\n") + kNative + "0,0,1,5,64,0,0\n");
+  EXPECT_EQ(sender_over.field, "sender");
+  const Diagnostic bad_count = reject(std::string("# nranks: 0\n") + kNative);
+  EXPECT_EQ(bad_count.field, "nranks");
+}
+
+// write_csv's `# nranks` preamble keeps the rank count faithful even when
+// the top ranks logged nothing — without it, re-ingestion would shrink a
+// 5-rank world to 1 and skew every per-process figure downstream.
+TEST(CsvSource, IdleTopRanksSurviveTheRoundTrip) {
+  trace::TraceStore store(5);
+  store.append(0, trace::Level::Physical, {.time = sim::SimTime{1}, .sender = 1, .bytes = 8});
+  std::stringstream csv;
+  trace::write_csv(csv, store);
+  const auto source = open_trace_stream(csv, "<test>");
+  EXPECT_EQ(source->nranks(), 5);
+}
+
+// Hostile rank values must become diagnostics, not aborts: the rank count
+// sizes the TraceStore, so an unchecked INT32_MAX would mean signed
+// overflow, and a merely huge value an allocation failure or store assert.
+TEST(CsvSource, AstronomicalRanksAreRejectedNotAllocated) {
+  EXPECT_EQ(reject(std::string(kFlat) + "1,0,2147483647,64\n").field, "receiver");
+  EXPECT_EQ(reject(std::string(kFlat) + "1,2147483647,0,64\n").field, "sender");
+  EXPECT_EQ(reject(std::string(kNative) + "2000000000,0,1,0,8,0,0\n").field, "rank");
+  EXPECT_EQ(reject(std::string("# nranks: 2000000000\n") + kFlat).field, "nranks");
+}
+
+TEST(CsvSource, FlatDialectOrdersByTimeAndInfersRanks) {
+  const auto source = parse(std::string(kFlat) + "10,1,0,100\n5,2,0,200\n20,0,3,50\n");
+  EXPECT_EQ(source->format(), "csv-flat");
+  EXPECT_EQ(source->nranks(), 4);  // receiver 3 + 1
+  EXPECT_EQ(source->levels(), std::vector<trace::Level>{trace::Level::Physical});
+  EXPECT_TRUE(source->events(trace::Level::Logical).empty());
+
+  const auto events = source->events(trace::Level::Physical);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0], (engine::Event{.source = 2, .destination = 0, .tag = 0, .bytes = 200}));
+  EXPECT_EQ(events[1], (engine::Event{.source = 1, .destination = 0, .tag = 0, .bytes = 100}));
+  EXPECT_EQ(events[2], (engine::Event{.source = 0, .destination = 3, .tag = 0, .bytes = 50}));
+}
+
+TEST(CsvSource, FlatDialectKindColumnAndValidation) {
+  const auto source =
+      parse("time_ns,sender,receiver,bytes,kind\n1,0,1,64,1\n2,1,0,32,0\n");
+  const auto events = source->events(trace::Level::Physical);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].tag, 1);  // OpKind rides in the tag dimension
+  EXPECT_EQ(events[1].tag, 0);
+
+  EXPECT_EQ(reject(std::string(kFlat) + "1,-1,0,64\n").field, "sender");  // no wildcards in flat
+  EXPECT_EQ(reject(std::string(kFlat) + "1,0,-1,64\n").field, "receiver");
+  EXPECT_EQ(reject("time_ns,sender,receiver,bytes,kind\n1,0,1,64,9\n").field, "kind");
+}
+
+TEST(CsvSource, UnknownHeaderListsKnownFormats) {
+  const Diagnostic d = reject("who,knows,what\n1,2,3\n");
+  EXPECT_NE(d.reason.find("csv"), std::string::npos);
+  EXPECT_NE(d.reason.find("csv-flat"), std::string::npos);
+}
+
+TEST(CsvSource, EmptyFileNeedsHeader) {
+  const Diagnostic d = reject("# just a comment\n");
+  EXPECT_EQ(d.line, 0u);
+  EXPECT_NE(d.reason.find("header"), std::string::npos);
+}
+
+TEST(FormatRegistry, PluggableFormatsDispatchByProbe) {
+  struct NullSource final : TraceSource {
+    [[nodiscard]] std::string_view format() const noexcept override { return "null"; }
+    [[nodiscard]] int nranks() const noexcept override { return 1; }
+    [[nodiscard]] std::vector<trace::Level> levels() const override { return {}; }
+    [[nodiscard]] std::vector<engine::Event> events(trace::Level) const override { return {}; }
+  };
+  auto& registry = TraceFormatRegistry::instance();
+  const auto names = registry.names();
+  if (std::find(names.begin(), names.end(), "null") == names.end()) {
+    registry.add({.name = "null",
+                  .matches = [](std::string_view header) { return header == "nullfmt"; },
+                  .open = [](std::istream&, const std::string&) -> std::unique_ptr<TraceSource> {
+                    return std::make_unique<NullSource>();
+                  }});
+  }
+  EXPECT_THROW(registry.add({.name = "null", .matches = {}, .open = {}}), UsageError);
+  const auto source = parse("nullfmt\n");
+  EXPECT_EQ(source->format(), "null");
+  EXPECT_EQ(source->store(), nullptr);
+}
+
+// The acceptance gate: a simulated run exported with write_csv and
+// replayed through src/ingest/ produces a byte-identical EngineReport for
+// every registry predictor, across shard counts {1, 2, 4}.
+TEST(RoundTrip, GateHoldsForEveryRegistryPredictorAcrossShards) {
+  mpi::World world(8, apps::paper_world_config(/*seed=*/7));
+  const auto outcome =
+      apps::run_is(world, apps::AppConfig{.problem_class = apps::ProblemClass::S});
+  ASSERT_TRUE(outcome.verified);
+
+  const std::size_t shard_counts[] = {1, 2, 4};
+  for (const std::string& predictor : engine::builtin_predictor_names()) {
+    const auto gate = verify_csv_round_trip(
+        world.traces(), engine::EngineConfig{.predictor = predictor}, shard_counts);
+    EXPECT_TRUE(gate.ok) << predictor << ": " << gate.detail;
+  }
+}
+
+TEST(RoundTrip, EmptyStoreAndEmptyShardListHandled) {
+  const trace::TraceStore empty(3);
+  const std::size_t shard_counts[] = {1, 2};
+  EXPECT_TRUE(verify_csv_round_trip(empty, {}, shard_counts).ok);
+  EXPECT_FALSE(verify_csv_round_trip(empty, {}, {}).ok);
+}
+
+TEST(AdaptiveReplay, SummaryDeterministicAcrossShardCounts) {
+  mpi::World world(8, apps::paper_world_config(/*seed=*/11));
+  (void)apps::run_is(world, apps::AppConfig{.problem_class = apps::ProblemClass::S});
+  const auto events = engine::events_from_trace(world.traces(), trace::Level::Physical);
+
+  const std::size_t shard_counts[] = {1, 2, 4};
+  const SweptReplay swept = replay_adaptive_swept(events, adaptive::RuntimeConfig{}, shard_counts);
+  EXPECT_TRUE(swept.deterministic) << swept.mismatch;
+  EXPECT_TRUE(swept.mismatch.empty());
+  EXPECT_NE(swept.replay.summary().find("messages="), std::string::npos);
+  EXPECT_GT(swept.replay.stats.messages, 0);
+
+  // The swept reference is the plain replay at its first shard count.
+  adaptive::RuntimeConfig cfg;
+  cfg.service.engine.shards = 1;
+  EXPECT_EQ(replay_adaptive(events, cfg).summary(), swept.replay.summary());
+}
+
+}  // namespace
+}  // namespace mpipred::ingest
