@@ -12,13 +12,16 @@
 // round-trip numbers can never drift away from the determinism guarantee.
 //
 // With `--trace <file>` the comparison runs over an externally captured
-// trace instead: the file is ingested (src/ingest/), its physical arrival
-// stream replayed through the same adaptive policy at every sweep shard
-// count (byte-identical summaries enforced), scored against the static
-// per-peer allocation and the same-budget LRU yardstick, and the CSV
-// round-trip gate is run on the ingested store. Exit 2 on any mismatch.
+// trace instead: the file is streamed through src/ingest/ (batched parse,
+// optional `--window` slice and `--remap-ranks` rank fold), its physical
+// arrival stream replayed through the same adaptive policy at every sweep
+// shard count (byte-identical summaries enforced), scored against the
+// static per-peer allocation and the same-budget LRU yardstick, and the
+// streamed-ingest + CSV round-trip gates are run on the input. Exit 2 on
+// any mismatch.
 //
 //   $ ./bench_adaptive [--predictor <name>] [--shards <n>] [--trace <file>]
+//       [--batch-events <n>] [--window <t0>:<t1>] [--remap-ranks <spec>]
 
 #include <algorithm>
 #include <cmath>
@@ -30,6 +33,8 @@
 #include "bench/bench_util.hpp"
 #include "ingest/replay.hpp"
 #include "ingest/source.hpp"
+#include "ingest/streaming.hpp"
+#include "ingest/transform.hpp"
 #include "ingest/verify.hpp"
 #include "scale/buffer_manager.hpp"
 
@@ -80,27 +85,44 @@ std::string format_report(const AdaptiveRun& run) {
 /// static side is the analytic per-peer allocation (nranks-1 buffers,
 /// every arrival a hit) and the adaptive side replays the policy over the
 /// arrival stream — the identical decision code the live endpoint drives.
-int run_trace_mode(const std::string& path, const std::string& predictor, std::size_t shards) {
-  std::unique_ptr<ingest::TraceSource> source;
+int run_trace_mode(const std::string& path, const std::string& predictor, std::size_t shards,
+                   const bench::TraceFlags& flags) {
+  const auto source = bench::open_trace_or_exit(path);
+  // Physical (arrival order) when the format records it — the level the
+  // live adaptive loop feeds on. The arrival sequence comes through the
+  // streamed default path: incremental reader, then the window/remap
+  // transform chain, drained (the policy needs the whole sequence).
+  const trace::Level level = source->levels().back();
+  std::vector<engine::Event> events;
+  int nranks = source->nranks();
+  std::string transform_lines;
   try {
-    source = ingest::open_trace(path);
+    auto chain =
+        ingest::apply_transforms(ingest::open_event_stream(path, level), flags.transforms);
+    events = ingest::strip_times(ingest::drain(*chain.stream, flags.batch_events));
+    if (chain.window != nullptr) {
+      transform_lines += "  " + chain.window->summary() + "\n";
+    }
+    if (chain.remap != nullptr) {
+      // A remap that dropped every event reports 0 new ranks; clamp so the
+      // static per-peer baseline below stays non-negative.
+      nranks = std::max(1, chain.remap->report().nranks());
+      transform_lines += "  remap " + chain.remap->config().to_string() + ": " +
+                         chain.remap->report().summary() + "\n";
+    }
   } catch (const Error& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 1;
   }
-  // Physical (arrival order) when the format records it — the level the
-  // live adaptive loop feeds on.
-  const trace::Level level = source->levels().back();
-  const auto events = source->events(level);
-  const int nranks = source->nranks();
   const auto sweep = bench::gate_shard_sweep(shards);
 
   std::printf("§2 closed loop — static per-peer library vs adaptive replay of %s\n",
               path.c_str());
   std::printf("(format %s, %d ranks, %zu %s-level arrivals, predictor %s; replay repeated at\n"
-              " engine shards {1,2,4}; summaries must match byte-for-byte)\n\n",
+              " engine shards {1,2,4}; summaries must match byte-for-byte)\n",
               std::string(source->format()).c_str(), nranks, events.size(),
               std::string(to_string(level)).c_str(), predictor.c_str());
+  std::printf("%s\n", transform_lines.c_str());
 
   adaptive::RuntimeConfig rt;
   rt.service.engine.predictor = predictor;
@@ -145,15 +167,23 @@ int run_trace_mode(const std::string& path, const std::string& predictor, std::s
   std::printf("  deterministic across shards: %s\n", swept.deterministic ? "yes" : "NO");
 
   bool gate_ok = true;
+  const engine::EngineConfig gate_cfg{.predictor = predictor};
+  const auto streamed =
+      ingest::verify_streamed_source(path, *source, flags.transforms, gate_cfg, sweep);
+  if (!streamed.ok) {
+    std::fprintf(stderr, "streamed-ingest gate FAILED: %s\n", streamed.detail.c_str());
+    gate_ok = false;
+  }
   if (const trace::TraceStore* store = source->store()) {
-    const auto gate = ingest::verify_csv_round_trip(
-        *store, engine::EngineConfig{.predictor = predictor}, sweep);
-    gate_ok = gate.ok;
+    const auto gate = ingest::verify_csv_round_trip(*store, gate_cfg, sweep);
     if (!gate.ok) {
       std::fprintf(stderr, "round-trip gate FAILED: %s\n", gate.detail.c_str());
-    } else {
-      std::printf("  round-trip gate: ok (byte-identical engine reports across shards)\n");
+      gate_ok = false;
     }
+  }
+  if (gate_ok) {
+    std::printf("  gates: ok (streamed == materialized across shards and batch sizes; "
+                "write_csv round trip byte-identical)\n");
   }
   return swept.deterministic && gate_ok ? 0 : 2;
 }
@@ -163,13 +193,13 @@ int run_trace_mode(const std::string& path, const std::string& predictor, std::s
 int main(int argc, char** argv) {
   auto arg = engine::predictor_arg_or_exit(argc, argv);
   const std::size_t shards = bench::shards_flag(arg.rest, /*fallback=*/1);
-  const std::string trace_path = bench::string_flag(arg.rest, "--trace");
-  if (!trace_path.empty()) {
+  const bench::TraceFlags trace_flags = bench::trace_flags_or_exit(arg.rest);
+  if (!trace_flags.path.empty()) {
     if (!arg.rest.empty()) {
       std::fprintf(stderr, "unexpected argument '%s'\n", arg.rest.front().c_str());
       return 1;
     }
-    return run_trace_mode(trace_path, arg.name, shards);
+    return run_trace_mode(trace_flags.path, arg.name, shards, trace_flags);
   }
   if (!arg.rest.empty()) {
     std::fprintf(stderr, "unexpected argument '%s'\n", arg.rest.front().c_str());

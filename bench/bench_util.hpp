@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -19,6 +20,9 @@
 #include "core/evaluate.hpp"
 #include "engine/engine.hpp"
 #include "engine/registry.hpp"
+#include "ingest/source.hpp"
+#include "ingest/streaming.hpp"
+#include "ingest/transform.hpp"
 #include "mpi/world.hpp"
 #include "trace/stats.hpp"
 #include "trace/stream.hpp"
@@ -165,6 +169,68 @@ inline std::vector<std::size_t> gate_shard_sweep(std::size_t shards) {
     sweep.push_back(shards);
   }
   return sweep;
+}
+
+/// size_flag that also reports whether the flag appeared at all (tools use
+/// this to reject flags that only make sense in some modes instead of
+/// silently ignoring them).
+inline std::optional<std::size_t> opt_size_flag(std::vector<std::string>& rest,
+                                                const std::string& flag) {
+  const bool present = std::any_of(rest.begin(), rest.end(), [&flag](const std::string& a) {
+    return a == flag || a.starts_with(flag + "=");
+  });
+  if (!present) {
+    return std::nullopt;
+  }
+  return size_flag(rest, flag, 0);
+}
+
+/// Opens a trace through the format registry, printing the diagnostic and
+/// exiting 1 on failure — the shared open boilerplate of every `--trace`
+/// consumer (predict_nas, bench_adaptive, replay_trace).
+inline std::unique_ptr<ingest::TraceSource> open_trace_or_exit(const std::string& path) {
+  try {
+    return ingest::open_trace(path);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::exit(1);
+  }
+}
+
+/// The shared streamed-ingest flags of every `--trace` consumer:
+/// `--trace <file>`, `--batch-events <n>` (0 = unbounded), `--window
+/// <t0>:<t1>`, and `--remap-ranks <spec>`.
+struct TraceFlags {
+  std::string path;
+  std::size_t batch_events = ingest::kDefaultBatchEvents;
+  ingest::TransformSpec transforms;
+};
+
+/// Consumes the shared ingest flags from `rest`. Exits 1 on a malformed
+/// window/remap spec, or when an ingest-only flag is given without
+/// `--trace` (it would otherwise be a silent no-op).
+inline TraceFlags trace_flags_or_exit(std::vector<std::string>& rest) {
+  TraceFlags flags;
+  flags.path = string_flag(rest, "--trace");
+  const auto batch = opt_size_flag(rest, "--batch-events");
+  if (batch) {
+    flags.batch_events = *batch;
+  }
+  const std::string window_spec = string_flag(rest, "--window");
+  const std::string remap_spec = string_flag(rest, "--remap-ranks");
+  if (flags.path.empty() &&
+      (batch.has_value() || !window_spec.empty() || !remap_spec.empty())) {
+    std::fprintf(stderr,
+                 "--batch-events, --window and --remap-ranks require --trace <file>\n");
+    std::exit(1);
+  }
+  try {
+    flags.transforms = ingest::TransformSpec::parse(window_spec, remap_spec);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::exit(1);
+  }
+  return flags;
 }
 
 inline void print_accuracy_grid_header(const char* what) {

@@ -4,14 +4,21 @@
 // the aggregate over every process's stream.
 //
 // The same pipeline also runs on externally captured traces: `--trace`
-// replays a CSV trace file (either dialect, see src/ingest/) through the
-// identical engine path, and `--export-trace` writes the simulated run's
-// trace out for later replay. Both modes enforce the round-trip gate — a
+// replays a CSV trace file (either dialect, see docs/TRACE_FORMAT.md)
+// through the identical engine path — streamed: the file is parsed in
+// pulled batches of `--batch-events` that overlap the engine's shard
+// drain, optionally sliced to a `--window` and folded onto a smaller rank
+// space with `--remap-ranks` — and `--export-trace` writes the simulated
+// run's trace out for later replay. Both modes enforce the gates — a
 // write_csv export re-ingested must produce byte-identical engine reports
-// across shard counts {1,2,4} — and exit 2 on any mismatch.
+// across shard counts {1,2,4}, and the streamed path must match the
+// materialized one across batch sizes {64,4096,unbounded} — and exit 2 on
+// any mismatch.
 //
 //   $ ./examples/predict_nas [app] [procs] [--predictor <name>] [--shards <n>]
 //                            [--export-trace <path>] [--trace <file>]
+//                            [--batch-events <n>] [--window <t0>:<t1>]
+//                            [--remap-ranks <spec>]
 //     (default: cg 8 --predictor dpd --shards 0 = one per hardware thread)
 
 #include <cstdio>
@@ -24,6 +31,8 @@
 #include "bench/bench_util.hpp"
 #include "engine/engine.hpp"
 #include "ingest/source.hpp"
+#include "ingest/streaming.hpp"
+#include "ingest/transform.hpp"
 #include "ingest/verify.hpp"
 #include "mpi/world.hpp"
 #include "trace/csv.hpp"
@@ -63,35 +72,99 @@ void print_level_report(trace::Level level, const engine::EngineReport& report, 
   print_report_block("sizes:", report.aggregate_sizes);
 }
 
-int replay_trace(const std::string& path, const engine::EngineConfig& cfg) {
-  std::unique_ptr<ingest::TraceSource> source;
+/// The stream a remapped replay reports on: the busiest destination (most
+/// events, smallest rank on ties — deterministic because report streams
+/// are key-sorted). The raw store's representative rank is meaningless
+/// after renumbering.
+int busiest_destination(const engine::EngineReport& report) {
+  int best = -1;
+  std::int64_t best_events = -1;
+  for (const auto& stream : report.streams) {
+    if (stream.key.destination == engine::kAnyKey) {
+      continue;
+    }
+    if (stream.events > best_events) {
+      best_events = stream.events;
+      best = stream.key.destination;
+    }
+  }
+  return best;
+}
+
+int replay_trace(const std::string& path, const engine::EngineConfig& cfg,
+                 const bench::TraceFlags& flags) {
+  const auto source = bench::open_trace_or_exit(path);
+  std::printf("replaying %s (format %s, %d ranks), predictor %s...\n", path.c_str(),
+              std::string(source->format()).c_str(), source->nranks(), cfg.predictor.c_str());
+  const trace::TraceStore* store = source->store();
+
+  // The streamed default path: the incremental reader feeds the engine in
+  // pulled `--batch-events` batches through the transform chain; nothing
+  // below depends on the batch size (the gates prove it).
+  struct LevelRun {
+    trace::Level level{};
+    ingest::StreamedRun run;
+    std::string window_summary;
+    std::string remap_summary;
+    int nranks = 0;
+  };
+  std::vector<LevelRun> runs;
   try {
-    source = ingest::open_trace(path);
+    for (const trace::Level level : source->levels()) {
+      auto chain =
+          ingest::apply_transforms(ingest::open_event_stream(path, level), flags.transforms);
+      LevelRun lr;
+      lr.level = level;
+      lr.run = ingest::StreamingReplay{.engine = cfg, .batch_events = flags.batch_events}.run(
+          *chain.stream);
+      lr.nranks = source->nranks();
+      if (chain.window != nullptr) {
+        lr.window_summary = chain.window->summary();
+      }
+      if (chain.remap != nullptr) {
+        lr.remap_summary = chain.remap->config().to_string() + ": " +
+                           chain.remap->report().summary();
+        lr.nranks = chain.remap->report().nranks();
+      }
+      runs.push_back(std::move(lr));
+    }
   } catch (const Error& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 1;
   }
-  std::printf("replaying %s (format %s, %d ranks), predictor %s...\n", path.c_str(),
-              std::string(source->format()).c_str(), source->nranks(), cfg.predictor.c_str());
-  const trace::TraceStore* store = source->store();
-  const int rep =
-      store == nullptr ? -1 : trace::representative_rank(*store, source->levels().front());
+
+  const int rep = !flags.transforms.active()
+                      ? (store == nullptr
+                             ? -1
+                             : trace::representative_rank(*store, source->levels().front()))
+                      : busiest_destination(runs.front().run.report);
   std::printf("  representative process: %d\n\n", rep);
 
-  for (const trace::Level level : source->levels()) {
-    engine::PredictionEngine eng(cfg);
-    eng.observe_all(source->events(level));
-    print_level_report(level, eng.report(), rep, source->nranks(), cfg.shards);
+  for (const LevelRun& lr : runs) {
+    print_level_report(lr.level, lr.run.report, rep, lr.nranks, cfg.shards);
+    if (!lr.window_summary.empty()) {
+      std::printf("  %s\n", lr.window_summary.c_str());
+    }
+    if (!lr.remap_summary.empty()) {
+      std::printf("  remap %s\n", lr.remap_summary.c_str());
+    }
   }
 
+  const auto sweep = bench::gate_shard_sweep(cfg.shards);
+  const auto streamed =
+      ingest::verify_streamed_source(path, *source, flags.transforms, cfg, sweep);
+  if (!streamed.ok) {
+    std::fprintf(stderr, "streamed-ingest gate FAILED: %s\n", streamed.detail.c_str());
+    return 2;
+  }
   if (store != nullptr) {
-    const auto sweep = bench::gate_shard_sweep(cfg.shards);
     const auto gate = ingest::verify_csv_round_trip(*store, cfg, sweep);
     if (!gate.ok) {
       std::fprintf(stderr, "round-trip gate FAILED: %s\n", gate.detail.c_str());
       return 2;
     }
-    std::printf("\nround-trip gate: ok (byte-identical engine reports across shards {1,2,4})\n");
+    std::printf("\nround-trip gate: ok (byte-identical engine reports across shards {1,2,4} "
+                "and batch sizes {64,4096,unbounded})\n");
   }
   return 0;
 }
@@ -102,11 +175,11 @@ int main(int argc, char** argv) {
   auto predictor_arg = engine::predictor_arg_or_exit(argc, argv);
   const std::string& predictor = predictor_arg.name;
   const std::size_t shards = bench::shards_flag(predictor_arg.rest);
-  const std::string trace_path = bench::string_flag(predictor_arg.rest, "--trace");
+  const bench::TraceFlags trace_flags = bench::trace_flags_or_exit(predictor_arg.rest);
   const std::string export_path = bench::string_flag(predictor_arg.rest, "--export-trace");
   const engine::EngineConfig cfg{.predictor = predictor, .shards = shards};
 
-  if (!trace_path.empty()) {
+  if (!trace_flags.path.empty()) {
     if (!predictor_arg.rest.empty()) {
       std::fprintf(stderr, "unexpected argument '%s' (positionals do not combine with --trace)\n",
                    predictor_arg.rest.front().c_str());
@@ -117,7 +190,7 @@ int main(int argc, char** argv) {
                            "--trace\n");
       return 1;
     }
-    return replay_trace(trace_path, cfg);
+    return replay_trace(trace_flags.path, cfg, trace_flags);
   }
 
   std::string app = "cg";

@@ -1,13 +1,18 @@
 // External traces through the whole stack: open any supported trace file
 // (run `trace_export` or `predict_nas --export-trace` to make one, or
 // bring a `time_ns,sender,receiver,bytes[,kind]` flat CSV from a real
-// capture tool), replay it through the registry/engine path per level, and
-// drive the adaptive runtime's decision layer over the arrival stream —
-// no simulator involved. Ends with the determinism gates: engine reports
-// must be byte-identical across shard counts {1,2,4} and across a
-// write_csv round trip; exits 2 on any mismatch.
+// capture tool), replay it through the registry/engine path per level —
+// streamed: the file is parsed in pulled batches that overlap the engine's
+// shard drain — and drive the adaptive runtime's decision layer over the
+// arrival stream; no simulator involved. `--window` slices a capture-time
+// range and `--remap-ranks` folds/subsets the rank space before anything
+// else sees the events. Ends with the determinism gates: engine reports
+// must be byte-identical across shard counts {1,2,4}, across batch sizes
+// {64,4096,unbounded}, and across a write_csv round trip; exits 2 on any
+// mismatch.
 //
 //   $ ./examples/replay_trace --trace <file> [--predictor <name>] [--shards <n>]
+//       [--batch-events <n>] [--window <t0>:<t1>] [--remap-ranks <spec>]
 
 #include <cstdio>
 #include <memory>
@@ -18,49 +23,102 @@
 #include "engine/engine.hpp"
 #include "ingest/replay.hpp"
 #include "ingest/source.hpp"
+#include "ingest/streaming.hpp"
+#include "ingest/transform.hpp"
 #include "ingest/verify.hpp"
+
+namespace {
+
+/// Tees every pulled batch into a sink, so the adaptive replay below
+/// reuses the last level's transformed events instead of re-parsing the
+/// whole file a second time.
+class TeeStream final : public mpipred::ingest::EventStream {
+ public:
+  TeeStream(std::unique_ptr<mpipred::ingest::EventStream> inner,
+            std::vector<mpipred::ingest::TimedEvent>& sink)
+      : inner_(std::move(inner)), sink_(&sink) {}
+
+  std::size_t next_batch(std::size_t max_events,
+                         std::vector<mpipred::ingest::TimedEvent>& out) override {
+    const std::size_t before = out.size();
+    const std::size_t got = inner_->next_batch(max_events, out);
+    sink_->insert(sink_->end(), out.begin() + static_cast<std::ptrdiff_t>(before), out.end());
+    return got;
+  }
+  [[nodiscard]] bool time_ordered() const noexcept override { return inner_->time_ordered(); }
+
+ private:
+  std::unique_ptr<mpipred::ingest::EventStream> inner_;
+  std::vector<mpipred::ingest::TimedEvent>* sink_;
+};
+
+/// +1 accuracy as a percentage; 0 when the stream was empty (an empty
+/// window or keep set must degrade to a zero report, not an abort).
+double pct_at_one(const mpipred::core::AccuracyReport& report) {
+  return report.max_horizon() == 0 ? 0.0 : 100.0 * report.at(1).accuracy();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace mpipred;
   auto arg = engine::predictor_arg_or_exit(argc, argv);
   const std::size_t shards = bench::shards_flag(arg.rest);
-  const std::string path = bench::string_flag(arg.rest, "--trace");
+  const bench::TraceFlags flags = bench::trace_flags_or_exit(arg.rest);
   if (!arg.rest.empty()) {
     std::fprintf(stderr, "unexpected argument '%s'\n", arg.rest.front().c_str());
     return 1;
   }
-  if (path.empty()) {
-    std::fprintf(stderr, "usage: replay_trace --trace <file> [--predictor <name>] "
-                         "[--shards <n>]\n");
+  if (flags.path.empty()) {
+    std::fprintf(stderr,
+                 "usage: replay_trace --trace <file> [--predictor <name>] [--shards <n>]\n"
+                 "                    [--batch-events <n>] [--window <t0>:<t1>]\n"
+                 "                    [--remap-ranks <spec>]\n");
     return 1;
   }
 
-  std::unique_ptr<ingest::TraceSource> source;
+  const auto source = bench::open_trace_or_exit(flags.path);
+  const engine::EngineConfig cfg{.predictor = arg.name, .shards = shards};
+  std::printf("%s: format %s, %d ranks, predictor %s, batch %zu events\n", flags.path.c_str(),
+              std::string(source->format()).c_str(), source->nranks(), arg.name.c_str(),
+              flags.batch_events);
+
+  // The paper's accuracy question, answered from the file alone through
+  // the streamed default path: the incremental reader feeds the engine in
+  // batches (parse of batch N+1 overlapped with the drain of batch N).
+  // The last level's transformed arrivals double as the adaptive replay's
+  // input below (physical, when the format records it).
+  std::vector<engine::Event> arrivals;
   try {
-    source = ingest::open_trace(path);
+    std::vector<ingest::TimedEvent> last_level_events;
+    for (const trace::Level level : source->levels()) {
+      auto chain = ingest::apply_transforms(ingest::open_event_stream(flags.path, level),
+                                            flags.transforms);
+      std::unique_ptr<ingest::EventStream> stream = std::move(chain.stream);
+      if (level == source->levels().back()) {
+        stream = std::make_unique<TeeStream>(std::move(stream), last_level_events);
+      }
+      const ingest::StreamedRun run =
+          ingest::StreamingReplay{.engine = cfg, .batch_events = flags.batch_events}.run(
+              *stream);
+      std::printf("%s level: %lld messages over %zu streams in %zu batches, +1 accuracy "
+                  "senders %.1f%% / sizes %.1f%%\n",
+                  std::string(to_string(level)).c_str(), static_cast<long long>(run.events),
+                  run.report.streams.size(), run.batches,
+                  pct_at_one(run.report.aggregate_senders),
+                  pct_at_one(run.report.aggregate_sizes));
+      if (chain.window != nullptr) {
+        std::printf("  %s\n", chain.window->summary().c_str());
+      }
+      if (chain.remap != nullptr) {
+        std::printf("  remap %s: %s\n", chain.remap->config().to_string().c_str(),
+                    chain.remap->report().summary().c_str());
+      }
+    }
+    arrivals = ingest::strip_times(last_level_events);
   } catch (const Error& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 1;
-  }
-
-  const engine::EngineConfig cfg{.predictor = arg.name, .shards = shards};
-  std::printf("%s: format %s, %d ranks, predictor %s\n", path.c_str(),
-              std::string(source->format()).c_str(), source->nranks(), arg.name.c_str());
-
-  // The paper's accuracy question, answered from the file alone. The last
-  // level's event stream doubles as the arrival sequence below (physical,
-  // when the format records it).
-  std::vector<engine::Event> arrivals;
-  for (const trace::Level level : source->levels()) {
-    arrivals = source->events(level);
-    engine::PredictionEngine eng(cfg);
-    eng.observe_all(arrivals);
-    const auto report = eng.report();
-    std::printf("%s level: %lld messages over %zu streams, +1 accuracy senders %.1f%% / "
-                "sizes %.1f%%\n",
-                std::string(to_string(level)).c_str(), static_cast<long long>(report.events),
-                report.streams.size(), 100.0 * report.aggregate_senders.at(1).accuracy(),
-                100.0 * report.aggregate_sizes.at(1).accuracy());
   }
 
   // The §2 runtime question — what would the adaptive library have done?
@@ -74,6 +132,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "adaptive replay differs at %s\n", swept.mismatch.c_str());
     return 2;
   }
+  const auto streamed =
+      ingest::verify_streamed_source(flags.path, *source, flags.transforms, cfg, sweep);
+  if (!streamed.ok) {
+    std::fprintf(stderr, "streamed-ingest gate FAILED: %s\n", streamed.detail.c_str());
+    return 2;
+  }
   if (const trace::TraceStore* store = source->store()) {
     const auto gate = ingest::verify_csv_round_trip(*store, cfg, sweep);
     if (!gate.ok) {
@@ -81,7 +145,7 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  std::printf("gates: adaptive replay and engine reports byte-identical across shards "
-              "{1,2,4} and a write_csv round trip\n");
+  std::printf("gates: adaptive replay and engine reports byte-identical across shards {1,2,4}, "
+              "batch sizes {64,4096,unbounded}, and a write_csv round trip\n");
   return 0;
 }

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Offline markdown link checker for README.md and docs/.
+
+Verifies, without touching the network, that every inline markdown link
+- to a relative path resolves to an existing file or directory,
+- to an anchor (`#section`, same-file or `file.md#section`) matches a
+  heading in the target file (GitHub slug rules),
+while external links (http/https/mailto) are only syntax-checked.
+
+Usage: check_links.py FILE [FILE...]
+Exits 1 listing every broken link as `file:line: message`.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[(?:[^\]]*)\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """The anchor GitHub generates for a heading."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())  # drop code spans
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> text
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)  # strip punctuation
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set[str]:
+    slugs: set[str] = set()
+    seen: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(1))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        slugs.add(slug if count == 0 else f"{slug}-{count}")
+    return slugs
+
+
+def iter_links(path: Path):
+    in_fence = False
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), start=1):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check_file(path: Path) -> list[str]:
+    errors: list[str] = []
+    for lineno, target in iter_links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, anchor = target.partition("#")
+        resolved = path if not base else (path.parent / base).resolve()
+        if base and not resolved.exists():
+            errors.append(f"{path}:{lineno}: broken link '{target}' (no such file)")
+            continue
+        if anchor and resolved.suffix == ".md":
+            if anchor not in heading_slugs(resolved):
+                errors.append(
+                    f"{path}:{lineno}: broken anchor '{target}' "
+                    f"(no heading '#{anchor}' in {resolved.name})"
+                )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors: list[str] = []
+    for name in argv[1:]:
+        path = Path(name)
+        if not path.exists():
+            errors.append(f"{name}: file not found")
+            continue
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"all links ok across {len(argv) - 1} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

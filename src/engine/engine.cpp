@@ -65,6 +65,38 @@ void PredictionEngine::observe(const Event& event) { shards_->observe_one(event)
 
 void PredictionEngine::observe_all(std::span<const Event> events) { shards_->feed(events); }
 
+void PredictionEngine::observe_batches(const BatchProducer& produce) {
+  std::vector<Event> current;
+  std::vector<Event> next;
+  produce(current);
+  while (!current.empty()) {
+    // Double buffering: the producer parses batch N+1 on its own thread
+    // while the shard set drains batch N. Batches are handed over at the
+    // join, so the feed order — and therefore every report — is exactly
+    // the sequential one.
+    std::exception_ptr producer_error;
+    next.clear();
+    std::thread producer([&] {
+      try {
+        produce(next);
+      } catch (...) {
+        producer_error = std::current_exception();
+      }
+    });
+    try {
+      shards_->feed(current);
+    } catch (...) {
+      producer.join();
+      throw;
+    }
+    producer.join();
+    if (producer_error) {
+      std::rethrow_exception(producer_error);
+    }
+    current.swap(next);
+  }
+}
+
 std::optional<core::Predictor::Value> PredictionEngine::predict_sender(const StreamKey& key,
                                                                        std::size_t h) const {
   const StreamState* state = shards_->find(key);

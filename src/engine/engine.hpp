@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <optional>
@@ -130,6 +131,21 @@ class PredictionEngine {
   void observe(const Event& event);
 
   void observe_all(std::span<const Event> events);
+
+  /// Fills a cleared buffer with the next batch of events; leaving it
+  /// empty signals the end of the feed. Calls never overlap — a producer
+  /// may reuse captured state without locking.
+  using BatchProducer = std::function<void(std::vector<Event>&)>;
+
+  /// Pull-based batched feed — the streaming-ingest hook. Repeatedly asks
+  /// `produce` for the next batch and feeds it through the sharded
+  /// observe path, overlapping the production (parse) of batch N+1 with
+  /// the shard drain of batch N on a second thread. Equivalent to one
+  /// observe_all over the concatenated batches: batch boundaries never
+  /// change any stream's event order, so report() is byte-identical for
+  /// any batch size — the ingest gates pin this. A throw from `produce`
+  /// propagates to the caller after the in-flight drain completes.
+  void observe_batches(const BatchProducer& produce);
 
   /// The key `event` routes to under this engine's policy.
   [[nodiscard]] StreamKey key_of(const Event& event) const;

@@ -1,142 +1,28 @@
 #include "ingest/csv_source.hpp"
 
 #include <algorithm>
-#include <charconv>
 #include <istream>
 #include <optional>
 #include <string_view>
 #include <vector>
 
 #include "engine/engine.hpp"
+#include "ingest/csv_line.hpp"
+#include "ingest/streaming.hpp"
 #include "trace/csv_util.hpp"
 
 namespace mpipred::ingest {
 
 namespace {
 
-using trace::csv_util::split;
 using trace::csv_util::strip_cr;
-
-constexpr std::string_view kNativeHeader = trace::csv_util::kNativeHeader;
-constexpr std::string_view kFlatHeader = "time_ns,sender,receiver,bytes";
-constexpr std::string_view kFlatHeaderKind = "time_ns,sender,receiver,bytes,kind";
-
-constexpr std::string_view kSupportedVersion = "v1";
-
-/// Ceiling on rank values a file may declare or use. The rank count sizes
-/// the TraceStore, so a hostile value must become a diagnostic here — not
-/// signed overflow, an allocation failure, or a TraceStore assert (the
-/// boundary promise is "never an abort"). 2^22 ranks is an order of
-/// magnitude beyond the largest real MPI jobs.
-constexpr std::int32_t kMaxRanks = 1 << 22;
-
-std::string_view trim(std::string_view s) {
-  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
-    s.remove_prefix(1);
-  }
-  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
-    s.remove_suffix(1);
-  }
-  return s;
-}
-
-/// Location state threaded through every field parse, so each rejection
-/// can name file, line, and field without repeating the plumbing.
-struct Cursor {
-  const std::string& file;
-  std::size_t line = 0;
-
-  [[noreturn]] void reject(std::string field, std::string reason) const {
-    throw IngestError(
-        {.file = file, .line = line, .field = std::move(field), .reason = std::move(reason)});
-  }
-};
-
-template <typename T>
-T parse_int(std::string_view text, const char* field, const Cursor& at) {
-  T value{};
-  const auto* begin = text.data();
-  const auto* end = text.data() + text.size();
-  const auto [ptr, ec] = std::from_chars(begin, end, value);
-  if (ec != std::errc{} || ptr != end) {
-    at.reject(field, "malformed integer '" + std::string(text) + "'");
-  }
-  return value;
-}
-
-template <typename T>
-T parse_in_range(std::string_view text, const char* field, T lo, T hi_exclusive,
-                 const Cursor& at) {
-  const T value = parse_int<T>(text, field, at);
-  if (value < lo || value >= hi_exclusive) {
-    at.reject(field, "value " + std::to_string(value) + " outside [" + std::to_string(lo) + ", " +
-                         std::to_string(hi_exclusive) + ")");
-  }
-  return value;
-}
-
-/// Rank-valued field: non-negative, and under the declared rank count when
-/// the file carries a `# nranks` directive (otherwise bounds are inferred
-/// after the parse). `min` is -1 for sender fields (kUnresolvedSender).
-std::int32_t parse_rank(std::string_view text, const char* field, std::int32_t min,
-                        const std::optional<int>& declared_nranks, const Cursor& at) {
-  const auto value = parse_int<std::int32_t>(text, field, at);
-  if (value < min) {
-    at.reject(field, "rank " + std::to_string(value) + " below " + std::to_string(min));
-  }
-  if (value >= kMaxRanks) {
-    at.reject(field, "rank " + std::to_string(value) + " above the supported maximum " +
-                         std::to_string(kMaxRanks - 1));
-  }
-  if (declared_nranks && value >= *declared_nranks) {
-    at.reject(field, "rank " + std::to_string(value) + " outside declared nranks " +
-                         std::to_string(*declared_nranks));
-  }
-  return value;
-}
-
-/// Handles one pre-header `#` line. Directives are `# key: value`;
-/// recognized keys are validated, everything else is a plain comment.
-void handle_directive(std::string_view body, std::optional<int>& declared_nranks,
-                      const Cursor& at) {
-  const std::size_t colon = body.find(':');
-  if (colon == std::string_view::npos) {
-    return;  // plain comment
-  }
-  const std::string_view key = trim(body.substr(0, colon));
-  const std::string_view value = trim(body.substr(colon + 1));
-  if (key == "mpipred-trace") {
-    if (value != kSupportedVersion) {
-      at.reject("mpipred-trace", "unsupported trace schema version '" + std::string(value) +
-                                     "' (supported: " + std::string(kSupportedVersion) + ")");
-    }
-  } else if (key == "nranks") {
-    const int n = parse_int<int>(value, "nranks", at);
-    if (n < 1) {
-      at.reject("nranks", "declared rank count " + std::to_string(n) + " must be at least 1");
-    }
-    if (n > kMaxRanks) {
-      at.reject("nranks", "declared rank count " + std::to_string(n) +
-                              " above the supported maximum " + std::to_string(kMaxRanks));
-    }
-    declared_nranks = n;
-  }
-  // Unknown keys: forward-compatible comments, deliberately ignored.
-}
-
-struct Row {
-  int rank = 0;
-  trace::Level level = trace::Level::Logical;
-  trace::Record rec;
-};
 
 }  // namespace
 
 std::unique_ptr<CsvTraceSource> CsvTraceSource::parse(std::istream& is, const std::string& file) {
-  Cursor at{.file = file};
+  csv_line::Cursor at{.file = file};
   std::optional<int> declared_nranks;
-  std::optional<Dialect> dialect;
-  bool flat_has_kind = false;
+  std::optional<csv_line::HeaderInfo> header;
 
   // Preamble: directives and comments up to the header line.
   std::string raw;
@@ -147,33 +33,23 @@ std::unique_ptr<CsvTraceSource> CsvTraceSource::parse(std::istream& is, const st
       continue;
     }
     if (line.front() == '#') {
-      handle_directive(trim(line.substr(1)), declared_nranks, at);
+      csv_line::handle_directive(csv_line::trim(line.substr(1)), declared_nranks, at);
       continue;
     }
-    if (line == kNativeHeader) {
-      dialect = Dialect::Native;
-    } else if (line == kFlatHeaderKind) {
-      dialect = Dialect::Flat;
-      flat_has_kind = true;
-    } else if (line == kFlatHeader) {
-      dialect = Dialect::Flat;
-    } else {
-      at.reject("", "unrecognized header '" + std::string(line) + "' (expected '" +
-                        std::string(kNativeHeader) + "' or '" + std::string(kFlatHeader) +
-                        "[,kind]')");
+    header = csv_line::match_header(line);
+    if (!header) {
+      csv_line::reject_header(line, at);
     }
     break;
   }
-  if (!dialect) {
+  if (!header) {
     throw IngestError({.file = file, .reason = "no header line found"});
   }
 
   // Data lines: parse and validate everything before building the store,
   // so the rank count can be inferred when the file does not declare it.
-  std::vector<Row> rows;
+  std::vector<csv_line::Row> rows;
   std::int32_t max_rank = -1;
-  const std::size_t expected_fields =
-      *dialect == Dialect::Native ? 7 : (flat_has_kind ? 5 : 4);
   while (std::getline(is, raw)) {
     ++at.line;
     const std::string_view line = strip_cr(raw);
@@ -183,51 +59,19 @@ std::unique_ptr<CsvTraceSource> CsvTraceSource::parse(std::istream& is, const st
     if (line.front() == '#') {
       continue;  // comments between data lines
     }
-    const auto fields = split(line);
-    if (fields.size() != expected_fields) {
-      at.reject("", "has " + std::to_string(fields.size()) + " fields, expected " +
-                        std::to_string(expected_fields));
-    }
-    Row row;
-    if (*dialect == Dialect::Native) {
-      row.rank = parse_rank(fields[0], "rank", 0, declared_nranks, at);
-      row.level = static_cast<trace::Level>(
-          parse_in_range<int>(fields[1], "level", 0, trace::kNumLevels, at));
-      row.rec.time = sim::SimTime{parse_int<std::int64_t>(fields[2], "time_ns", at)};
-      row.rec.sender = parse_rank(fields[3], "sender", trace::kUnresolvedSender, declared_nranks,
-                                  at);
-      row.rec.bytes = parse_int<std::int64_t>(fields[4], "bytes", at);
-      if (row.rec.bytes < 0) {
-        at.reject("bytes", "negative byte count " + std::to_string(row.rec.bytes));
-      }
-      row.rec.kind = static_cast<trace::OpKind>(parse_in_range<int>(fields[5], "kind", 0, 2, at));
-      row.rec.op =
-          static_cast<trace::Op>(parse_in_range<int>(fields[6], "op", 0, trace::kNumOps, at));
-    } else {
-      row.rec.time = sim::SimTime{parse_int<std::int64_t>(fields[0], "time_ns", at)};
-      row.rec.sender = parse_rank(fields[1], "sender", 0, declared_nranks, at);
-      row.rank = parse_rank(fields[2], "receiver", 0, declared_nranks, at);
-      row.level = trace::Level::Physical;
-      row.rec.bytes = parse_int<std::int64_t>(fields[3], "bytes", at);
-      if (row.rec.bytes < 0) {
-        at.reject("bytes", "negative byte count " + std::to_string(row.rec.bytes));
-      }
-      if (flat_has_kind) {
-        row.rec.kind =
-            static_cast<trace::OpKind>(parse_in_range<int>(fields[4], "kind", 0, 2, at));
-      }
-      row.rec.op = trace::Op::Recv;
-    }
+    const csv_line::Row row = csv_line::parse_row(line, *header, declared_nranks, at);
     max_rank = std::max({max_rank, static_cast<std::int32_t>(row.rank), row.rec.sender});
     rows.push_back(row);
   }
 
   const int nranks = declared_nranks.value_or(std::max(max_rank + 1, 1));
   trace::TraceStore store(nranks);
-  for (const Row& row : rows) {
+  for (const csv_line::Row& row : rows) {
     store.append(row.rank, row.level, row.rec);
   }
-  return std::unique_ptr<CsvTraceSource>(new CsvTraceSource(*dialect, std::move(store)));
+  const Dialect dialect =
+      header->dialect == csv_line::Dialect::Native ? Dialect::Native : Dialect::Flat;
+  return std::unique_ptr<CsvTraceSource>(new CsvTraceSource(dialect, std::move(store)));
 }
 
 std::string_view CsvTraceSource::format() const noexcept {
@@ -250,19 +94,28 @@ std::vector<engine::Event> CsvTraceSource::events(trace::Level level) const {
 }
 
 void register_csv_formats(TraceFormatRegistry& registry) {
+  const auto open_stream = [](const std::string& path, trace::Level level) {
+    return std::unique_ptr<EventStream>(CsvStreamReader::open(path, level));
+  };
   registry.add({.name = "csv",
-                .matches = [](std::string_view header) { return header == kNativeHeader; },
-                .open = [](std::istream& is, const std::string& file) {
-                  return std::unique_ptr<TraceSource>(CsvTraceSource::parse(is, file));
-                }});
+                .matches =
+                    [](std::string_view header) { return header == csv_line::kNativeHeader; },
+                .open =
+                    [](std::istream& is, const std::string& file) {
+                      return std::unique_ptr<TraceSource>(CsvTraceSource::parse(is, file));
+                    },
+                .open_stream = open_stream});
   registry.add({.name = "csv-flat",
                 .matches =
                     [](std::string_view header) {
-                      return header == kFlatHeader || header == kFlatHeaderKind;
+                      return header == csv_line::kFlatHeader ||
+                             header == csv_line::kFlatHeaderKind;
                     },
-                .open = [](std::istream& is, const std::string& file) {
-                  return std::unique_ptr<TraceSource>(CsvTraceSource::parse(is, file));
-                }});
+                .open =
+                    [](std::istream& is, const std::string& file) {
+                      return std::unique_ptr<TraceSource>(CsvTraceSource::parse(is, file));
+                    },
+                .open_stream = open_stream});
 }
 
 }  // namespace mpipred::ingest

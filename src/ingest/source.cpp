@@ -5,8 +5,32 @@
 #include <utility>
 
 #include "ingest/csv_source.hpp"
+#include "ingest/streaming.hpp"
+#include "trace/merge.hpp"
 
 namespace mpipred::ingest {
+
+std::unique_ptr<EventStream> TraceSource::stream_events(trace::Level level) const {
+  std::vector<TimedEvent> timed;
+  if (const trace::TraceStore* records = store()) {
+    const auto merged = trace::merged_records(*records, level);
+    timed.reserve(merged.size());
+    for (const trace::MergedRecord& rec : merged) {
+      timed.push_back({.time = rec.time,
+                       .event = {.source = rec.sender,
+                                 .destination = rec.receiver,
+                                 .tag = static_cast<std::int32_t>(rec.kind),
+                                 .bytes = rec.bytes}});
+    }
+  } else {
+    // Event-only formats carry no timestamps; the transforms still compose
+    // (a time window over an all-zero clock keeps everything or nothing).
+    for (const engine::Event& event : events(level)) {
+      timed.push_back({.time = sim::SimTime{0}, .event = event});
+    }
+  }
+  return std::make_unique<VectorEventStream>(std::move(timed), /*time_ordered=*/true);
+}
 
 std::string to_string(const Diagnostic& d) {
   std::string out = d.file;
@@ -68,6 +92,21 @@ std::string first_meaningful_line(std::istream& is) {
 
 }  // namespace
 
+namespace {
+
+[[noreturn]] void throw_unknown_format(const std::vector<TraceFormat>& formats,
+                                       const std::string& probe, const std::string& file) {
+  std::string known;
+  for (const TraceFormat& f : formats) {
+    known += (known.empty() ? "" : ", ") + f.name;
+  }
+  throw IngestError({.file = file,
+                     .reason = "no registered trace format matches header '" + probe +
+                               "' (known formats: " + known + ")"});
+}
+
+}  // namespace
+
 std::unique_ptr<TraceSource> TraceFormatRegistry::open(std::istream& is,
                                                        const std::string& file) const {
   const std::string probe = first_meaningful_line(is);
@@ -81,13 +120,31 @@ std::unique_ptr<TraceSource> TraceFormatRegistry::open(std::istream& is,
       return f.open(is, file);
     }
   }
-  std::string known;
-  for (const TraceFormat& f : formats_) {
-    known += (known.empty() ? "" : ", ") + f.name;
+  throw_unknown_format(formats_, probe, file);
+}
+
+std::unique_ptr<EventStream> TraceFormatRegistry::open_stream(const std::string& path,
+                                                              trace::Level level) const {
+  std::ifstream is(path);
+  if (!is) {
+    throw IngestError({.file = path, .reason = "cannot open for reading"});
   }
-  throw IngestError({.file = file,
-                     .reason = "no registered trace format matches header '" + probe +
-                               "' (known formats: " + known + ")"});
+  const std::string probe = first_meaningful_line(is);
+  for (const TraceFormat& f : formats_) {
+    if (!f.matches(probe)) {
+      continue;
+    }
+    if (f.open_stream) {
+      return f.open_stream(path, level);
+    }
+    is.clear();
+    is.seekg(0);
+    if (!is) {
+      throw IngestError({.file = path, .reason = "stream is not seekable (cannot rewind probe)"});
+    }
+    return f.open(is, path)->stream_events(level);
+  }
+  throw_unknown_format(formats_, probe, path);
 }
 
 std::unique_ptr<TraceSource> open_trace(const std::string& path) {

@@ -25,6 +25,8 @@ class TraceStore;
 
 namespace mpipred::ingest {
 
+class EventStream;  // streaming.hpp: pull-based batch contract
+
 /// One parse problem, pinned to its location: unlike the simulator-side
 /// readers (which may assert — their input is our own output), ingestion
 /// faces hostile files and must say exactly where and why a line was
@@ -85,6 +87,14 @@ class TraceSource {
   /// records (the CSV dialects do); nullptr for event-only formats. The
   /// round-trip gate re-exports it through trace::write_csv.
   [[nodiscard]] virtual const trace::TraceStore* store() const noexcept { return nullptr; }
+
+  /// The same stream events(level) returns, behind the pull-based batch
+  /// contract (each call yields a fresh, self-contained stream). The
+  /// default adapter serves the materialized events; it exists so every
+  /// source composes with the streaming transforms — the bounded-memory
+  /// path over a file is ingest::open_event_stream, which skips
+  /// materialization entirely for formats that can parse incrementally.
+  [[nodiscard]] virtual std::unique_ptr<EventStream> stream_events(trace::Level level) const;
 };
 
 /// One pluggable trace format. `matches` probes the first meaningful line
@@ -95,6 +105,11 @@ struct TraceFormat {
   std::string name;
   std::function<bool(std::string_view first_line)> matches;
   std::function<std::unique_ptr<TraceSource>(std::istream& is, const std::string& file)> open;
+  /// Optional incremental reader: yields one level's time-ordered events
+  /// without materializing the trace (bounded memory). Formats without one
+  /// are materialized through `open` and adapted.
+  std::function<std::unique_ptr<EventStream>(const std::string& path, trace::Level level)>
+      open_stream;
 };
 
 /// Name -> format map the `--trace` flag dispatches through. The CSV
@@ -114,6 +129,12 @@ class TraceFormatRegistry {
   /// read and the stream rewound) and parses it with the first matching
   /// format. Throws IngestError when no format claims the header.
   [[nodiscard]] std::unique_ptr<TraceSource> open(std::istream& is, const std::string& file) const;
+
+  /// Probes `path` and opens it as an incremental event stream of `level`
+  /// through the matching format's `open_stream` hook (falling back to
+  /// materializing via `open`). Throws IngestError like open().
+  [[nodiscard]] std::unique_ptr<EventStream> open_stream(const std::string& path,
+                                                         trace::Level level) const;
 
  private:
   std::vector<TraceFormat> formats_;

@@ -1,0 +1,350 @@
+#include "ingest/transform.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+#include "common/error.hpp"
+#include "ingest/csv_line.hpp"
+#include "ingest/source.hpp"
+
+namespace mpipred::ingest {
+
+namespace {
+
+[[nodiscard]] std::int64_t parse_spec_int(std::string_view text, const std::string& what) {
+  std::int64_t value = 0;
+  const auto* begin = text.data();
+  const auto* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) {
+    throw UsageError(what + ": malformed integer '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TimeWindow
+
+TimeWindow TimeWindow::parse(std::string_view spec) {
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string_view::npos) {
+    throw UsageError("--window: expected '<t0>:<t1>' (either side may be empty), got '" +
+                     std::string(spec) + "'");
+  }
+  const std::string_view lo = spec.substr(0, colon);
+  const std::string_view hi = spec.substr(colon + 1);
+  if (hi.find(':') != std::string_view::npos) {
+    throw UsageError("--window: more than one ':' in '" + std::string(spec) + "'");
+  }
+  TimeWindow w;
+  if (!lo.empty()) {
+    w.begin_ns = parse_spec_int(lo, "--window");
+  }
+  if (!hi.empty()) {
+    w.end_ns = parse_spec_int(hi, "--window");
+  }
+  if (lo.empty() && hi.empty()) {
+    throw UsageError("--window: at least one bound is required");
+  }
+  if (w.begin_ns >= w.end_ns) {
+    throw UsageError("--window: empty window " + w.to_string());
+  }
+  return w;
+}
+
+std::string TimeWindow::to_string() const {
+  std::string out = "[";
+  if (bounded_begin()) {
+    out += std::to_string(begin_ns);
+  }
+  out += ":";
+  if (bounded_end()) {
+    out += std::to_string(end_ns);
+  }
+  out += ")";
+  return out;
+}
+
+std::size_t TimeWindowSource::next_batch(std::size_t max_events, std::vector<TimedEvent>& out) {
+  std::size_t appended = 0;
+  while (appended < max_events && !done_) {
+    scratch_.clear();
+    if (inner_->next_batch(max_events - appended, scratch_) == 0) {
+      done_ = true;
+      break;
+    }
+    for (const TimedEvent& te : scratch_) {
+      if (inner_->time_ordered() && te.time.count() >= window_.end_ns) {
+        done_ = true;  // everything later is past the slice: stop parsing
+        break;
+      }
+      ++events_in_;
+      if (window_.contains(te.time.count())) {
+        out.push_back(te);
+        ++appended;
+        ++kept_;
+      }
+    }
+  }
+  return appended;
+}
+
+std::string TimeWindowSource::summary() const {
+  return "window " + window_.to_string() + ": kept " + std::to_string(kept_) + " of " +
+         std::to_string(events_in_) + " events";
+}
+
+// ---------------------------------------------------------------------------
+// RankRemapConfig
+
+RankRemapConfig RankRemapConfig::parse(std::string_view spec) {
+  RankRemapConfig cfg;
+  std::string_view body = spec;
+  if (body.ends_with(":strict")) {
+    cfg.collisions = Collisions::Reject;
+    body.remove_suffix(std::string_view(":strict").size());
+  }
+  const std::size_t colon = body.find(':');
+  const std::string_view op = body.substr(0, colon == std::string_view::npos ? body.size() : colon);
+  const std::string_view arg = colon == std::string_view::npos ? "" : body.substr(colon + 1);
+  if (op == "mod") {
+    cfg.mode = Mode::Modulo;
+    const std::int64_t n = parse_spec_int(arg, "--remap-ranks mod");
+    if (n < 1 || n > csv_line::kMaxRanks) {
+      throw UsageError("--remap-ranks: modulo " + std::to_string(n) + " outside [1, " +
+                       std::to_string(csv_line::kMaxRanks) + "]");
+    }
+    cfg.modulo = static_cast<std::int32_t>(n);
+    return cfg;
+  }
+  if (op == "keep") {
+    cfg.mode = Mode::Keep;
+    std::string_view rest = arg;
+    if (rest.empty()) {
+      throw UsageError("--remap-ranks: keep needs at least one rank or range");
+    }
+    while (!rest.empty()) {
+      const std::size_t comma = rest.find(',');
+      const std::string_view item =
+          rest.substr(0, comma == std::string_view::npos ? rest.size() : comma);
+      rest = comma == std::string_view::npos ? std::string_view{} : rest.substr(comma + 1);
+      const std::size_t dash = item.find('-');
+      std::int64_t lo = 0;
+      std::int64_t hi = 0;
+      if (dash == std::string_view::npos) {
+        lo = hi = parse_spec_int(item, "--remap-ranks keep");
+      } else {
+        lo = parse_spec_int(item.substr(0, dash), "--remap-ranks keep");
+        hi = parse_spec_int(item.substr(dash + 1), "--remap-ranks keep");
+      }
+      if (lo < 0 || hi < lo || hi >= csv_line::kMaxRanks) {
+        throw UsageError("--remap-ranks: bad range '" + std::string(item) + "'");
+      }
+      cfg.keep.emplace_back(static_cast<std::int32_t>(lo), static_cast<std::int32_t>(hi));
+    }
+    // Normalize: sorted, disjoint ranges, so dense renumbering and
+    // kept_count() are well defined whatever the spec's order.
+    std::sort(cfg.keep.begin(), cfg.keep.end());
+    std::vector<std::pair<std::int32_t, std::int32_t>> merged;
+    for (const auto& [lo, hi] : cfg.keep) {
+      if (!merged.empty() && lo <= merged.back().second + 1) {
+        merged.back().second = std::max(merged.back().second, hi);
+      } else {
+        merged.emplace_back(lo, hi);
+      }
+    }
+    cfg.keep = std::move(merged);
+    return cfg;
+  }
+  throw UsageError("--remap-ranks: unknown op '" + std::string(op) +
+                   "' (expected 'mod:<N>' or 'keep:<ranks>', optional ':strict' suffix)");
+}
+
+std::string RankRemapConfig::to_string() const {
+  std::string out;
+  if (mode == Mode::Modulo) {
+    out = "mod:" + std::to_string(modulo);
+  } else {
+    out = "keep:";
+    for (std::size_t i = 0; i < keep.size(); ++i) {
+      if (i != 0) {
+        out += ",";
+      }
+      out += std::to_string(keep[i].first);
+      if (keep[i].second != keep[i].first) {
+        out += "-" + std::to_string(keep[i].second);
+      }
+    }
+  }
+  if (collisions == Collisions::Reject) {
+    out += ":strict";
+  }
+  return out;
+}
+
+std::int32_t RankRemapConfig::kept_count() const noexcept {
+  std::int32_t count = 0;
+  for (const auto& [lo, hi] : keep) {
+    count += hi - lo + 1;
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// RankRemapSource
+
+RankRemapSource::RankRemapSource(std::unique_ptr<EventStream> inner, RankRemapConfig cfg)
+    : inner_(std::move(inner)), cfg_(std::move(cfg)) {}
+
+std::optional<std::int32_t> RankRemapSource::map_rank(std::int32_t old_rank,
+                                                      bool is_sender) const {
+  if (old_rank < 0) {
+    return old_rank;  // wildcard/unresolved markers pass through unmapped
+  }
+  if (cfg_.mode == RankRemapConfig::Mode::Modulo) {
+    return old_rank % cfg_.modulo;
+  }
+  std::int32_t base = 0;
+  for (const auto& [lo, hi] : cfg_.keep) {
+    if (old_rank < lo) {
+      break;
+    }
+    if (old_rank <= hi) {
+      return base + (old_rank - lo);
+    }
+    base += hi - lo + 1;
+  }
+  // Outside the keep set: receivers drop the event, senders become the
+  // one "external world" rank just past the dense range.
+  return is_sender ? std::optional(cfg_.kept_count()) : std::nullopt;
+}
+
+void RankRemapSource::record(std::int32_t old_rank, std::int32_t new_rank) {
+  if (old_rank < 0) {
+    return;
+  }
+  const auto [it, inserted] = old_to_new_.emplace(old_rank, new_rank);
+  if (!inserted) {
+    return;
+  }
+  const auto [slot, first] = new_to_first_old_.emplace(new_rank, old_rank);
+  // Keep mode's external-sender rank merges foreign senders by design, so
+  // :strict exempts it (dense renumbering makes kept ranks collision-free;
+  // only Modulo folds can trip the policy).
+  const bool external_fold = cfg_.mode == RankRemapConfig::Mode::Keep &&
+                             new_rank == cfg_.kept_count();
+  if (!first && slot->second != old_rank && !external_fold &&
+      cfg_.collisions == RankRemapConfig::Collisions::Reject) {
+    throw IngestError(
+        {.file = "<remap " + cfg_.to_string() + ">",
+         .reason = "old ranks " + std::to_string(slot->second) + " and " +
+                   std::to_string(old_rank) + " both map to new rank " +
+                   std::to_string(new_rank) + " (collision policy 'strict' rejects folds)"});
+  }
+}
+
+std::size_t RankRemapSource::next_batch(std::size_t max_events, std::vector<TimedEvent>& out) {
+  std::size_t appended = 0;
+  while (appended < max_events) {
+    scratch_.clear();
+    if (inner_->next_batch(max_events - appended, scratch_) == 0) {
+      break;
+    }
+    for (TimedEvent te : scratch_) {
+      ++events_in_;
+      const auto dst = map_rank(te.event.destination, /*is_sender=*/false);
+      if (!dst) {
+        ++events_dropped_;
+        continue;
+      }
+      const auto src = map_rank(te.event.source, /*is_sender=*/true);
+      record(te.event.destination, *dst);
+      if (te.event.source >= 0) {
+        record(te.event.source, *src);
+      }
+      te.event.destination = *dst;
+      te.event.source = *src;
+      out.push_back(te);
+      ++appended;
+      ++events_kept_;
+    }
+  }
+  return appended;
+}
+
+RankRemapReport RankRemapSource::report() const {
+  RankRemapReport rep;
+  rep.events_in = events_in_;
+  rep.events_kept = events_kept_;
+  rep.events_dropped = events_dropped_;
+  rep.mapping.assign(old_to_new_.begin(), old_to_new_.end());
+  std::sort(rep.mapping.begin(), rep.mapping.end());
+  rep.ranks_observed = static_cast<std::int32_t>(old_to_new_.size());
+  rep.new_ranks = static_cast<std::int32_t>(new_to_first_old_.size());
+  rep.folded = rep.ranks_observed - rep.new_ranks;
+  if (cfg_.mode == RankRemapConfig::Mode::Keep) {
+    const std::int32_t external = cfg_.kept_count();
+    for (const auto& [old_rank, new_rank] : rep.mapping) {
+      if (new_rank == external) {
+        ++rep.external_senders;
+      }
+    }
+  }
+  return rep;
+}
+
+std::int32_t RankRemapReport::nranks() const noexcept {
+  std::int32_t max_new = -1;
+  for (const auto& [old_rank, new_rank] : mapping) {
+    max_new = std::max(max_new, new_rank);
+  }
+  return max_new + 1;
+}
+
+std::string RankRemapReport::summary() const {
+  std::string out = std::to_string(ranks_observed) + " ranks observed -> " +
+                    std::to_string(new_ranks) + " (" + std::to_string(folded) + " folded";
+  if (external_senders != 0) {
+    out += ", " + std::to_string(external_senders) + " external senders";
+  }
+  out += "), kept " + std::to_string(events_kept) + " of " + std::to_string(events_in) +
+         " events";
+  if (events_dropped != 0) {
+    out += " (" + std::to_string(events_dropped) + " dropped)";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TransformSpec
+
+TransformSpec TransformSpec::parse(const std::string& window_spec, const std::string& remap_spec) {
+  TransformSpec spec;
+  if (!window_spec.empty()) {
+    spec.window = TimeWindow::parse(window_spec);
+  }
+  if (!remap_spec.empty()) {
+    spec.remap = RankRemapConfig::parse(remap_spec);
+  }
+  return spec;
+}
+
+TransformChain apply_transforms(std::unique_ptr<EventStream> base, const TransformSpec& spec) {
+  TransformChain chain;
+  if (spec.window) {
+    auto window = std::make_unique<TimeWindowSource>(std::move(base), *spec.window);
+    chain.window = window.get();
+    base = std::move(window);
+  }
+  if (spec.remap) {
+    auto remap = std::make_unique<RankRemapSource>(std::move(base), *spec.remap);
+    chain.remap = remap.get();
+    base = std::move(remap);
+  }
+  chain.stream = std::move(base);
+  return chain;
+}
+
+}  // namespace mpipred::ingest

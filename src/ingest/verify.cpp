@@ -54,6 +54,63 @@ RoundTripResult verify_csv_round_trip(const trace::TraceStore& store,
                           cfg.predictor + ")"};
       }
     }
+    // The same equality through the streamed batch path: pulled batches of
+    // the re-ingested source must drive the engine to the identical report
+    // at every gate batch size (streamed == materialized == simulated).
+    const auto streamed = verify_streamed_replay(
+        [&source, level] { return source->stream_events(level); }, direct, cfg, shard_counts,
+        kGateBatchEvents);
+    if (!streamed.ok) {
+      return {.ok = false, .detail = label + " level: " + streamed.detail};
+    }
+  }
+  return {};
+}
+
+RoundTripResult verify_streamed_replay(const StreamFactory& make_stream,
+                                       std::span<const engine::Event> reference,
+                                       const engine::EngineConfig& cfg,
+                                       std::span<const std::size_t> shard_counts,
+                                       std::span<const std::size_t> batch_sizes) {
+  if (shard_counts.empty() || batch_sizes.empty()) {
+    return {.ok = false, .detail = "no shard counts or batch sizes requested"};
+  }
+  const auto reference_report = report_over(reference, cfg, shard_counts.front());
+  for (const std::size_t shards : shard_counts) {
+    for (const std::size_t batch : batch_sizes) {
+      engine::EngineConfig run = cfg;
+      run.shards = shards;
+      const auto stream = make_stream();
+      const StreamedRun got = StreamingReplay{.engine = run, .batch_events = batch}.run(*stream);
+      if (got.report != reference_report) {
+        return {.ok = false,
+                .detail = "streamed report at shards=" + std::to_string(shards) +
+                          " batch-events=" + std::to_string(batch) +
+                          " differs from the materialized report (" + std::to_string(got.events) +
+                          " events streamed, predictor " + cfg.predictor + ")"};
+      }
+    }
+  }
+  return {};
+}
+
+RoundTripResult verify_streamed_source(const std::string& path, const TraceSource& source,
+                                       const TransformSpec& spec, const engine::EngineConfig& cfg,
+                                       std::span<const std::size_t> shard_counts) {
+  for (const trace::Level level : source.levels()) {
+    // Materialized reference: the source's own events through the same
+    // transform chain, applied eagerly.
+    auto reference_chain = apply_transforms(source.stream_events(level), spec);
+    const auto reference = strip_times(drain(*reference_chain.stream));
+    const auto gate = verify_streamed_replay(
+        [&path, &spec, level] {
+          return apply_transforms(open_event_stream(path, level), spec).stream;
+        },
+        reference, cfg, shard_counts, kGateBatchEvents);
+    if (!gate.ok) {
+      return {.ok = false,
+              .detail = std::string(trace::to_string(level)) + " level: " + gate.detail};
+    }
   }
   return {};
 }

@@ -4,10 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "apps/app.hpp"
+#include "common/error.hpp"
 #include "core/evaluate.hpp"
 #include "engine/engine.hpp"
 #include "mpi/world.hpp"
@@ -146,6 +148,44 @@ TEST(PredictionEngine, OnlineQueriesPredictPerStream) {
   const StreamKey unknown{.source = kAnyKey, .destination = 99, .tag = kAnyKey};
   EXPECT_FALSE(engine.predict_sender(unknown).has_value());
   EXPECT_FALSE(engine.predict_size(unknown).has_value());
+}
+
+// The streaming-ingest hook: a pull-based batched feed must be exactly
+// observe_all over the concatenated batches, whatever the batch size —
+// the double-buffered producer overlap may change who does the work, never
+// the result.
+TEST(PredictionEngine, ObserveBatchesMatchesObserveAllAtEveryBatchSize) {
+  const auto events = synthetic_multi_stream(40);
+  PredictionEngine reference{EngineConfig{}};
+  reference.observe_all(events);
+  const auto want = reference.report();
+
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{7}, std::size_t{64},
+                                  events.size() + 1}) {
+    PredictionEngine eng{EngineConfig{}};
+    std::size_t next = 0;
+    eng.observe_batches([&](std::vector<Event>& out) {
+      const std::size_t take = std::min(batch, events.size() - next);
+      out.assign(events.begin() + static_cast<std::ptrdiff_t>(next),
+                 events.begin() + static_cast<std::ptrdiff_t>(next + take));
+      next += take;
+    });
+    EXPECT_EQ(eng.report(), want) << "batch = " << batch;
+  }
+}
+
+TEST(PredictionEngine, ObserveBatchesPropagatesProducerErrors) {
+  PredictionEngine eng{EngineConfig{}};
+  int calls = 0;
+  EXPECT_THROW(eng.observe_batches([&calls](std::vector<Event>& out) {
+                 if (++calls == 2) {
+                   throw UsageError("producer failed");
+                 }
+                 out.assign(8, Event{.source = 1, .destination = 0, .bytes = 64});
+               }),
+               UsageError);
+  // The batch handed over before the failure was fed.
+  EXPECT_EQ(eng.report().events, 8);
 }
 
 TEST(PredictionEngine, PrototypeConstructorUsesClones) {

@@ -6,8 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
+#include <random>
 #include <sstream>
 #include <string>
+#include <tuple>
 
 #include "apps/app.hpp"
 #include "engine/engine.hpp"
@@ -15,6 +18,8 @@
 #include "ingest/csv_source.hpp"
 #include "ingest/replay.hpp"
 #include "ingest/source.hpp"
+#include "ingest/streaming.hpp"
+#include "ingest/transform.hpp"
 #include "ingest/verify.hpp"
 #include "mpi/world.hpp"
 #include "trace/csv.hpp"
@@ -262,6 +267,413 @@ TEST(AdaptiveReplay, SummaryDeterministicAcrossShardCounts) {
   adaptive::RuntimeConfig cfg;
   cfg.service.engine.shards = 1;
   EXPECT_EQ(replay_adaptive(events, cfg).summary(), swept.replay.summary());
+}
+
+// ---------------------------------------------------------------------------
+// Streaming ingest: the pull-based batch path must reproduce the
+// materialized event order exactly, at any batch size, with bounded
+// buffering — and fall back (still byte-identical) on layouts it cannot
+// merge incrementally.
+
+std::string write_temp_file(const std::string& name, const std::string& text) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream os(path);
+  os << text;
+  return path;
+}
+
+/// Monotone per-rank times with frequent cross-rank ties, occasional
+/// unresolved senders, both levels populated.
+trace::TraceStore random_store(std::uint32_t seed, int nranks, int records_per_rank) {
+  std::mt19937 rng(seed);
+  trace::TraceStore store(nranks);
+  for (int rank = 0; rank < nranks; ++rank) {
+    for (const auto level : {trace::Level::Logical, trace::Level::Physical}) {
+      std::int64_t t = static_cast<std::int64_t>(rng() % 3);
+      for (int i = 0; i < records_per_rank; ++i) {
+        t += static_cast<std::int64_t>(rng() % 2);  // ties within and across ranks
+        const bool unresolved = level == trace::Level::Logical && rng() % 13 == 0;
+        store.append(rank, level,
+                     {.time = sim::SimTime{t},
+                      .sender = unresolved ? trace::kUnresolvedSender
+                                           : static_cast<std::int32_t>(rng() % nranks),
+                      .bytes = static_cast<std::int64_t>(8 << (rng() % 4)),
+                      .kind = rng() % 5 == 0 ? trace::OpKind::Collective
+                                             : trace::OpKind::PointToPoint});
+      }
+    }
+  }
+  return store;
+}
+
+std::vector<TimedEvent> pull_all(EventStream& stream, std::size_t batch) {
+  std::vector<TimedEvent> out;
+  while (stream.next_batch(batch, out) != 0) {
+  }
+  return out;
+}
+
+TEST(Streaming, NativeFileMatchesMaterializedAcrossBatchSizes) {
+  const auto store = random_store(/*seed=*/101, /*nranks=*/5, /*records_per_rank=*/120);
+  const std::string path = ::testing::TempDir() + "stream_native.csv";
+  trace::write_csv_file(path, store);
+  for (const auto level : {trace::Level::Logical, trace::Level::Physical}) {
+    const auto expect = engine::events_from_trace(store, level);
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{3}, std::size_t{64},
+                                    std::size_t{1 << 20}}) {
+      auto reader = CsvStreamReader::open(path, level);
+      EXPECT_TRUE(reader->streaming());
+      EXPECT_EQ(reader->nranks(), 5);
+      const auto got = pull_all(*reader, batch);
+      EXPECT_EQ(strip_times(got), expect) << "batch = " << batch;
+      // Bounded buffering: one lookahead per requested-level section (5
+      // ranks -> 5 cursors), independent of trace length or batch size.
+      EXPECT_LE(reader->peak_buffered_events(), 5u);
+      // Times are the merge keys and must come out non-decreasing.
+      for (std::size_t i = 1; i < got.size(); ++i) {
+        EXPECT_LE(got[i - 1].time.count(), got[i].time.count());
+      }
+    }
+  }
+}
+
+// A hand-interleaved native file: one rank's records split across two
+// sections with overlapping times. The merge must reproduce the
+// materialized order — stable by time over rank-major concatenation —
+// not file order.
+TEST(Streaming, NativeInterleavedSectionsMergeLikeMaterialized) {
+  const std::string text = std::string(kNative) +
+                           "0,1,10,1,111,0,0\n"   // rank 0, section A
+                           "1,1,5,0,222,0,0\n"    // rank 1
+                           "0,1,5,1,333,0,0\n"    // rank 0, section B
+                           "0,1,10,1,444,0,0\n";  // tie with section A's 10
+  const std::string path = write_temp_file("stream_sections.csv", text);
+  const auto source = parse(text);
+  const auto expect = source->events(trace::Level::Physical);
+
+  auto reader = CsvStreamReader::open(path, trace::Level::Physical);
+  EXPECT_TRUE(reader->streaming());
+  const auto got = strip_times(pull_all(*reader, 2));
+  ASSERT_EQ(got, expect);
+  // Spot-check the order: both 5s (rank 0 then rank 1), then rank 0's
+  // earlier-section 10 before its later-section 10.
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(got[0].bytes, 333);
+  EXPECT_EQ(got[1].bytes, 222);
+  EXPECT_EQ(got[2].bytes, 111);
+  EXPECT_EQ(got[3].bytes, 444);
+}
+
+TEST(Streaming, FlatSortedStreamsUnsortedFallsBack) {
+  const std::string sorted = std::string(kFlat) + "5,1,0,100\n5,2,1,200\n5,3,0,300\n7,0,1,50\n";
+  const std::string sorted_path = write_temp_file("stream_flat_sorted.csv", sorted);
+  const auto sorted_expect = parse(sorted)->events(trace::Level::Physical);
+  auto sorted_reader = CsvStreamReader::open(sorted_path, trace::Level::Physical);
+  EXPECT_TRUE(sorted_reader->streaming());
+  EXPECT_EQ(strip_times(pull_all(*sorted_reader, 1)), sorted_expect);
+
+  // Ties at t=5 come out rank-major (receiver 0's two records first) even
+  // though the file interleaves receivers.
+  ASSERT_EQ(sorted_expect.size(), 4u);
+  EXPECT_EQ(sorted_expect[0].bytes, 100);
+  EXPECT_EQ(sorted_expect[1].bytes, 300);
+  EXPECT_EQ(sorted_expect[2].bytes, 200);
+
+  const std::string unsorted = std::string(kFlat) + "9,1,0,100\n5,2,1,200\n7,0,1,50\n";
+  const std::string unsorted_path = write_temp_file("stream_flat_unsorted.csv", unsorted);
+  auto unsorted_reader = CsvStreamReader::open(unsorted_path, trace::Level::Physical);
+  EXPECT_FALSE(unsorted_reader->streaming());  // decreasing time: materialized fallback
+  EXPECT_EQ(strip_times(pull_all(*unsorted_reader, 2)),
+            parse(unsorted)->events(trace::Level::Physical));
+
+  // Flat traces carry the physical level only; the logical stream is empty.
+  auto logical = CsvStreamReader::open(sorted_path, trace::Level::Logical);
+  EXPECT_TRUE(pull_all(*logical, 16).empty());
+}
+
+// The bounded-memory property of the tentpole: while streaming, the
+// reader never holds more than the per-section lookahead (plus one
+// timestamp-tie group for flat files) — in particular never `max_events`
+// parsed events — however long the trace is.
+TEST(Streaming, BoundedBufferingIndependentOfTraceLength) {
+  std::string flat = std::string(kFlat);
+  for (int i = 0; i < 10000; ++i) {
+    flat += std::to_string(i) + "," + std::to_string(i % 3) + "," + std::to_string(i % 4) +
+            ",64\n";
+  }
+  const std::string flat_path = write_temp_file("stream_flat_long.csv", flat);
+  auto flat_reader = CsvStreamReader::open(flat_path, trace::Level::Physical);
+  const auto got = pull_all(*flat_reader, 64);
+  EXPECT_EQ(got.size(), 10000u);
+  EXPECT_TRUE(flat_reader->streaming());
+  EXPECT_LE(flat_reader->peak_buffered_events(), 2u);  // distinct times: tie groups of 1
+
+  const auto store = random_store(/*seed=*/7, /*nranks=*/4, /*records_per_rank=*/1000);
+  const std::string native_path = ::testing::TempDir() + "stream_native_long.csv";
+  trace::write_csv_file(native_path, store);
+  auto native_reader = CsvStreamReader::open(native_path, trace::Level::Physical);
+  EXPECT_EQ(pull_all(*native_reader, 64).size(),
+            engine::events_from_trace(store, trace::Level::Physical).size());
+  EXPECT_LE(native_reader->peak_buffered_events(), 4u);  // one lookahead per rank section
+}
+
+TEST(Streaming, NonMonotoneNativeSectionFallsBackByteIdentical) {
+  const std::string text = std::string(kNative) + "0,1,10,1,64,0,0\n0,1,5,1,32,0,0\n";
+  const std::string path = write_temp_file("stream_nonmono.csv", text);
+  auto reader = CsvStreamReader::open(path, trace::Level::Physical);
+  EXPECT_FALSE(reader->streaming());
+  EXPECT_EQ(strip_times(pull_all(*reader, 1)), parse(text)->events(trace::Level::Physical));
+}
+
+TEST(Streaming, OpenValidatesTheWholeFileUpFront) {
+  const std::string path =
+      write_temp_file("stream_bad.csv", std::string(kNative) + "0,0,1,2,3,0,99\n");
+  try {
+    (void)CsvStreamReader::open(path, trace::Level::Logical);
+    ADD_FAILURE() << "expected IngestError";
+  } catch (const IngestError& e) {
+    EXPECT_EQ(e.where().field, "op");
+    EXPECT_EQ(e.where().line, 2u);
+    EXPECT_EQ(e.where().file, path);
+  }
+}
+
+TEST(Streaming, SourceStreamEventsMatchesEvents) {
+  const auto store = random_store(/*seed=*/33, /*nranks=*/3, /*records_per_rank=*/50);
+  std::stringstream csv;
+  trace::write_csv(csv, store);
+  const auto source = open_trace_stream(csv, "<test>");
+  for (const auto level : {trace::Level::Logical, trace::Level::Physical}) {
+    const auto stream = source->stream_events(level);
+    EXPECT_TRUE(stream->time_ordered());
+    EXPECT_EQ(strip_times(drain(*stream)), source->events(level));
+  }
+}
+
+TEST(Streaming, StreamingReplayMatchesObserveAllReport) {
+  const auto store = random_store(/*seed=*/55, /*nranks=*/4, /*records_per_rank=*/100);
+  const std::string path = ::testing::TempDir() + "stream_replay.csv";
+  trace::write_csv_file(path, store);
+  const auto events = engine::events_from_trace(store, trace::Level::Physical);
+  const std::size_t shard_counts[] = {1, 2, 4};
+  const auto gate = verify_streamed_replay(
+      [&path] { return open_event_stream(path, trace::Level::Physical); }, events,
+      engine::EngineConfig{}, shard_counts, kGateBatchEvents);
+  EXPECT_TRUE(gate.ok) << gate.detail;
+}
+
+// ---------------------------------------------------------------------------
+// Source transforms: window slicing, rank remapping, and their composition
+// over the streaming pipeline.
+
+TEST(Transform, WindowSpecParsing) {
+  const TimeWindow w = TimeWindow::parse("5000:90000");
+  EXPECT_EQ(w.begin_ns, 5000);
+  EXPECT_EQ(w.end_ns, 90000);
+  EXPECT_TRUE(w.contains(5000));
+  EXPECT_FALSE(w.contains(90000));  // half-open
+  EXPECT_EQ(w.to_string(), "[5000:90000)");
+
+  EXPECT_FALSE(TimeWindow::parse("5000:").bounded_end());
+  EXPECT_FALSE(TimeWindow::parse(":90000").bounded_begin());
+  EXPECT_THROW((void)TimeWindow::parse("123"), UsageError);     // no colon
+  EXPECT_THROW((void)TimeWindow::parse(":"), UsageError);       // no bound
+  EXPECT_THROW((void)TimeWindow::parse("9:5"), UsageError);     // empty window
+  EXPECT_THROW((void)TimeWindow::parse("a:b"), UsageError);     // not integers
+  EXPECT_THROW((void)TimeWindow::parse("1:2:3"), UsageError);   // extra colon
+}
+
+TEST(Transform, RemapSpecParsing) {
+  const RankRemapConfig mod = RankRemapConfig::parse("mod:64");
+  EXPECT_EQ(mod.mode, RankRemapConfig::Mode::Modulo);
+  EXPECT_EQ(mod.modulo, 64);
+  EXPECT_EQ(mod.collisions, RankRemapConfig::Collisions::Fold);
+  EXPECT_EQ(mod.to_string(), "mod:64");
+
+  const RankRemapConfig strict = RankRemapConfig::parse("mod:8:strict");
+  EXPECT_EQ(strict.collisions, RankRemapConfig::Collisions::Reject);
+  EXPECT_EQ(strict.to_string(), "mod:8:strict");
+
+  // Ranges normalize: sorted and merged, whatever the spec order.
+  const RankRemapConfig keep = RankRemapConfig::parse("keep:5,0-2,1-3");
+  EXPECT_EQ(keep.mode, RankRemapConfig::Mode::Keep);
+  EXPECT_EQ(keep.to_string(), "keep:0-3,5");
+  EXPECT_EQ(keep.kept_count(), 5);
+
+  EXPECT_THROW((void)RankRemapConfig::parse("mod:0"), UsageError);
+  EXPECT_THROW((void)RankRemapConfig::parse("mod:x"), UsageError);
+  EXPECT_THROW((void)RankRemapConfig::parse("keep:"), UsageError);
+  EXPECT_THROW((void)RankRemapConfig::parse("keep:3-1"), UsageError);
+  EXPECT_THROW((void)RankRemapConfig::parse("drop:1"), UsageError);
+}
+
+std::vector<TimedEvent> timed(std::initializer_list<std::tuple<int, int, int, int>> rows) {
+  // (time, src, dst, bytes)
+  std::vector<TimedEvent> out;
+  for (const auto& [t, src, dst, bytes] : rows) {
+    out.push_back({.time = sim::SimTime{t},
+                   .event = {.source = src, .destination = dst, .bytes = bytes}});
+  }
+  return out;
+}
+
+TEST(Transform, WindowSlicesHalfOpenAndStopsEarlyWhenOrdered) {
+  auto inner = std::make_unique<VectorEventStream>(
+      timed({{1, 0, 1, 8}, {3, 0, 1, 8}, {5, 0, 1, 8}, {7, 0, 1, 8}, {9, 0, 1, 8}}),
+      /*time_ordered=*/true);
+  TimeWindowSource window(std::move(inner), TimeWindow::parse("3:7"));
+  const auto got = drain(window);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].time.count(), 3);
+  EXPECT_EQ(got[1].time.count(), 5);
+  // Ordered inner: the source stops at the first event past the end (the
+  // tail at 7 and 9 is never inspected or counted).
+  EXPECT_EQ(window.summary(), "window [3:7): kept 2 of 3 events");
+}
+
+TEST(Transform, RemapModuloFoldsBothEndpoints) {
+  auto inner = std::make_unique<VectorEventStream>(
+      timed({{1, 5, 2, 8}, {2, 6, 3, 8}, {3, 1, 0, 8}}));
+  RankRemapSource remap(std::move(inner), RankRemapConfig::parse("mod:4"));
+  const auto got = drain(remap);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].event.source, 1);       // 5 % 4
+  EXPECT_EQ(got[0].event.destination, 2);  // 2 % 4
+  EXPECT_EQ(got[1].event.source, 2);       // 6 % 4
+  EXPECT_EQ(got[1].event.destination, 3);
+  const auto report = remap.report();
+  EXPECT_EQ(report.ranks_observed, 6);  // 5, 2, 6, 3, 1, 0
+  EXPECT_EQ(report.new_ranks, 4);
+  EXPECT_EQ(report.folded, 2);  // 5->1 and 6->2 collide with 1 and 2
+  EXPECT_EQ(report.nranks(), 4);
+  EXPECT_EQ(report.events_kept, 3);
+}
+
+TEST(Transform, RemapKeepSubsetsDenselyWithExternalSenders) {
+  // Keep receivers {2, 3, 5}: dense ids 0, 1, 2; external senders -> 3.
+  auto inner = std::make_unique<VectorEventStream>(timed({
+      {1, 3, 2, 8},   // kept: src 3 -> 1, dst 2 -> 0
+      {2, 9, 5, 8},   // kept: foreign sender 9 -> external 3, dst 5 -> 2
+      {3, 2, 7, 8},   // dropped: receiver 7 outside the set
+      {4, 8, 3, 8},   // kept: foreign sender 8 -> external 3, dst 3 -> 1
+  }));
+  RankRemapSource remap(std::move(inner), RankRemapConfig::parse("keep:2-3,5"));
+  const auto got = drain(remap);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].event.destination, 0);
+  EXPECT_EQ(got[0].event.source, 1);
+  EXPECT_EQ(got[1].event.destination, 2);
+  EXPECT_EQ(got[1].event.source, 3);
+  EXPECT_EQ(got[2].event.destination, 1);
+  EXPECT_EQ(got[2].event.source, 3);
+  const auto report = remap.report();
+  EXPECT_EQ(report.events_dropped, 1);
+  EXPECT_EQ(report.external_senders, 2);  // 9 and 8
+  EXPECT_EQ(report.nranks(), 4);          // dense 0..2 plus external 3
+  const std::vector<std::pair<std::int32_t, std::int32_t>> want_mapping = {
+      {2, 0}, {3, 1}, {5, 2}, {8, 3}, {9, 3}};
+  EXPECT_EQ(report.mapping, want_mapping);
+}
+
+TEST(Transform, StrictCollisionPolicyRejects) {
+  auto inner = std::make_unique<VectorEventStream>(timed({{1, 0, 1, 8}, {2, 4, 1, 8}}));
+  RankRemapSource remap(std::move(inner), RankRemapConfig::parse("mod:4:strict"));
+  try {
+    (void)drain(remap);
+    ADD_FAILURE() << "expected IngestError on 0 and 4 folding onto rank 0";
+  } catch (const IngestError& e) {
+    EXPECT_NE(std::string(e.what()).find("both map to new rank 0"), std::string::npos)
+        << e.what();
+  }
+  // The same fold without :strict is the documented behavior.
+  auto fold_inner = std::make_unique<VectorEventStream>(timed({{1, 0, 1, 8}, {2, 4, 1, 8}}));
+  RankRemapSource fold(std::move(fold_inner), RankRemapConfig::parse("mod:4"));
+  EXPECT_EQ(drain(fold).size(), 2u);
+  EXPECT_EQ(fold.report().folded, 1);
+
+  // Keep mode's external-sender rank merges foreign senders by design:
+  // :strict must not reject it (and kept ranks cannot collide at all).
+  auto keep_inner = std::make_unique<VectorEventStream>(
+      timed({{1, 8, 0, 8}, {2, 9, 1, 8}, {3, 0, 1, 8}}));
+  RankRemapSource keep(std::move(keep_inner), RankRemapConfig::parse("keep:0-1:strict"));
+  EXPECT_EQ(drain(keep).size(), 3u);
+  EXPECT_EQ(keep.report().external_senders, 2);
+}
+
+// The composition property of the tentpole: remap ∘ window ∘ stream over a
+// randomized trace equals the materialized, pre-transformed reference —
+// an oracle computed eagerly and independently here — for every batch
+// size, and the engine report over the chain matches across shard counts
+// and batch sizes.
+TEST(Transform, CompositionMatchesEagerReferenceOnRandomizedTrace) {
+  std::mt19937 rng(2003);
+  std::vector<TimedEvent> events;
+  for (int i = 0; i < 4000; ++i) {
+    events.push_back({.time = sim::SimTime{static_cast<std::int64_t>(i / 2)},  // frequent ties
+                      .event = {.source = static_cast<std::int32_t>(rng() % 24),
+                                .destination = static_cast<std::int32_t>(rng() % 24),
+                                .tag = static_cast<std::int32_t>(rng() % 2),
+                                .bytes = static_cast<std::int64_t>(8 << (rng() % 6))}});
+  }
+  const TransformSpec spec =
+      TransformSpec::parse(/*window=*/"200:1500", /*remap=*/"mod:5");
+
+  // Independent oracle: eager filter-then-map over the same vector.
+  std::vector<TimedEvent> oracle;
+  for (TimedEvent te : events) {
+    if (te.time.count() < 200 || te.time.count() >= 1500) {
+      continue;
+    }
+    te.event.source %= 5;
+    te.event.destination %= 5;
+    oracle.push_back(te);
+  }
+  ASSERT_FALSE(oracle.empty());
+
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{7}, std::size_t{512},
+                                  std::size_t{1 << 20}}) {
+    auto chain = apply_transforms(
+        std::make_unique<VectorEventStream>(events, /*time_ordered=*/true), spec);
+    EXPECT_EQ(pull_all(*chain.stream, batch), oracle) << "batch = " << batch;
+  }
+
+  // Engine equality across shard counts × gate batch sizes, against the
+  // oracle's report.
+  const std::size_t shard_counts[] = {1, 2, 4};
+  const auto gate = verify_streamed_replay(
+      [&events, &spec] {
+        return apply_transforms(
+                   std::make_unique<VectorEventStream>(events, /*time_ordered=*/true), spec)
+            .stream;
+      },
+      strip_times(oracle), engine::EngineConfig{}, shard_counts, kGateBatchEvents);
+  EXPECT_TRUE(gate.ok) << gate.detail;
+
+  // Mapping reports are a pure function of the streamed events: identical
+  // for any batch size.
+  auto chain_a = apply_transforms(
+      std::make_unique<VectorEventStream>(events, /*time_ordered=*/true), spec);
+  auto chain_b = apply_transforms(
+      std::make_unique<VectorEventStream>(events, /*time_ordered=*/true), spec);
+  (void)pull_all(*chain_a.stream, 3);
+  (void)pull_all(*chain_b.stream, 999);
+  EXPECT_EQ(chain_a.remap->report().summary(), chain_b.remap->report().summary());
+  EXPECT_EQ(chain_a.remap->report().mapping, chain_b.remap->report().mapping);
+}
+
+// End-to-end over a real file: the tool-level gate (file-backed streamed
+// chain vs materialized transformed reference) holds with both transforms
+// active.
+TEST(Transform, StreamedSourceGateHoldsOverTransformedFile) {
+  const auto store = random_store(/*seed=*/77, /*nranks=*/6, /*records_per_rank=*/80);
+  const std::string path = ::testing::TempDir() + "stream_transformed.csv";
+  trace::write_csv_file(path, store);
+  const auto source = open_trace(path);
+  const TransformSpec spec = TransformSpec::parse("10:120", "keep:0-2");
+  const std::size_t shard_counts[] = {1, 2, 4};
+  const auto gate = verify_streamed_source(path, *source, spec,
+                                           engine::EngineConfig{}, shard_counts);
+  EXPECT_TRUE(gate.ok) << gate.detail;
 }
 
 }  // namespace
