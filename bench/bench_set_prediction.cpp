@@ -4,15 +4,21 @@
 // where the exact order does not. This bench compares, per configuration,
 // the in-order +5 accuracy with the next-5 multiset overlap on physical
 // streams.
+//
+//   $ ./bench/bench_set_prediction [--predictor <name>]      (default: dpd)
+//   $ ./bench/bench_set_prediction --list-predictors
 
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.hpp"
 #include "core/set_prediction.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mpipred;
-  std::printf("§5.3 — physical level: in-order accuracy vs set (next-5 multiset) overlap\n\n");
+  const std::string predictor = bench::predictor_flag(argc, argv);
+  std::printf("§5.3 — physical level: in-order accuracy vs set (next-5 multiset) overlap\n");
+  std::printf("predictor: %s\n\n", predictor.c_str());
   std::printf("%-12s %10s %10s %10s %12s\n", "config", "order+1%", "order+5%", "set-mean%",
               "full-cover%");
   struct Case {
@@ -31,10 +37,10 @@ int main() {
       const auto streams =
           trace::extract_streams(run.world->traces(), rep, trace::Level::Physical);
 
-      core::StreamPredictor in_order{core::StreamPredictorConfig{}};
-      const auto ordered = core::evaluate_with(in_order, streams.senders, 5);
-      core::StreamPredictor for_sets{core::StreamPredictorConfig{}};
-      const auto sets = core::evaluate_set_prediction(for_sets, streams.senders, 5);
+      const auto in_order = engine::make_predictor(predictor);
+      const auto ordered = core::evaluate_with(*in_order, streams.senders, 5);
+      const auto for_sets = engine::make_predictor(predictor);
+      const auto sets = core::evaluate_set_prediction(*for_sets, streams.senders, 5);
 
       std::printf("%-12s %10.1f %10.1f %10.1f %12.1f\n",
                   (std::string(info.name) + "." + std::to_string(procs)).c_str(),

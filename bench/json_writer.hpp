@@ -1,0 +1,146 @@
+#pragma once
+
+// Minimal streaming JSON writer for machine-diffable bench artifacts.
+// Hand-rolled on purpose: the repo takes no third-party dependencies, and
+// bench output needs exactly objects, arrays, strings, integers, bools,
+// and fixed-format doubles. Emission order is the call order, so a bench
+// that computes deterministically writes byte-identical files across runs
+// — keep timestamps, hostnames, and pointers out of the values.
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpipred::bench {
+
+/// Streaming writer with comma/nesting bookkeeping. Usage:
+///
+///   JsonWriter json;
+///   json.begin_object();
+///   json.key("config").begin_object();
+///   json.key("shards").value(std::int64_t{4});
+///   json.end_object();
+///   json.end_object();
+///   json.str();  // the document
+///
+/// The caller is responsible for balanced begin/end calls; keys must be
+/// unique within an object (nothing checks, this is a writer not a DOM).
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  JsonWriter& key(std::string_view name) {
+    separate();
+    append_string(name);
+    out_ += ':';
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view text) {
+    separate();
+    append_string(text);
+    return *this;
+  }
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(bool b) {
+    separate();
+    out_ += b ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& value(std::int64_t n) {
+    separate();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, n);
+    out_ += buf;
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t n) {
+    separate();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, n);
+    out_ += buf;
+    return *this;
+  }
+  /// Fixed three-decimal format: stable across platforms and precise
+  /// enough for latency ratios without dragging in locale or %g noise.
+  JsonWriter& value(double d) {
+    separate();
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", d);
+    out_ += buf;
+    return *this;
+  }
+
+  [[nodiscard]] const std::string& str() const noexcept { return out_; }
+
+ private:
+  JsonWriter& open(char c) {
+    separate();
+    out_ += c;
+    first_.push_back(true);
+    return *this;
+  }
+
+  JsonWriter& close(char c) {
+    out_ += c;
+    first_.pop_back();
+    return *this;
+  }
+
+  /// Emits the comma before a sibling; a value right after key() never
+  /// takes one.
+  void separate() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (!first_.empty()) {
+      if (!first_.back()) {
+        out_ += ',';
+      }
+      first_.back() = false;
+    }
+  }
+
+  void append_string(std::string_view text) {
+    out_ += '"';
+    for (const char c : text) {
+      switch (c) {
+        case '"':
+          out_ += "\\\"";
+          break;
+        case '\\':
+          out_ += "\\\\";
+          break;
+        case '\n':
+          out_ += "\\n";
+          break;
+        case '\t':
+          out_ += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<bool> first_;
+  bool pending_value_ = false;
+};
+
+}  // namespace mpipred::bench

@@ -5,15 +5,16 @@
 //
 // The same pipeline also runs on externally captured traces: `--trace`
 // replays a CSV trace file (either dialect, see docs/TRACE_FORMAT.md)
-// through the identical engine path — streamed: the file is parsed in
-// pulled batches of `--batch-events` that overlap the engine's shard
-// drain, optionally sliced to a `--window` and folded onto a smaller rank
-// space with `--remap-ranks` — and `--export-trace` writes the simulated
-// run's trace out for later replay. Both modes enforce the gates — a
-// write_csv export re-ingested must produce byte-identical engine reports
-// across shard counts {1,2,4}, and the streamed path must match the
-// materialized one across batch sizes {64,4096,unbounded} — and exit 2 on
-// any mismatch.
+// through the resident prediction service — one PredictionServer session
+// per level, the file parsed in pulled batches of `--batch-events` that
+// overlap the shard drain, optionally sliced to a `--window` and folded
+// onto a smaller rank space with `--remap-ranks` — and `--export-trace`
+// writes the simulated run's trace out for later replay. Both modes
+// enforce the gates — every session report must be byte-identical to the
+// single-tenant engine wrapper's over the same events, a write_csv export
+// re-ingested must produce byte-identical engine reports across shard
+// counts {1,2,4}, and the streamed path must match the materialized one
+// across batch sizes {64,4096,unbounded} — and exit 2 on any mismatch.
 //
 //   $ ./examples/predict_nas [app] [procs] [--predictor <name>] [--shards <n>]
 //                            [--export-trace <path>] [--trace <file>]
@@ -35,6 +36,7 @@
 #include "ingest/transform.hpp"
 #include "ingest/verify.hpp"
 #include "mpi/world.hpp"
+#include "serve/server.hpp"
 #include "trace/csv.hpp"
 #include "trace/stats.hpp"
 
@@ -98,9 +100,11 @@ int replay_trace(const std::string& path, const engine::EngineConfig& cfg,
               std::string(source->format()).c_str(), source->nranks(), cfg.predictor.c_str());
   const trace::TraceStore* store = source->store();
 
-  // The streamed default path: the incremental reader feeds the engine in
-  // pulled `--batch-events` batches through the transform chain; nothing
-  // below depends on the batch size (the gates prove it).
+  // The streamed default path through the resident service: one
+  // PredictionServer, one isolated session per level, each fed by the
+  // incremental reader in pulled `--batch-events` batches through the
+  // transform chain; nothing below depends on the batch size or on the
+  // session-vs-engine surface (the gates prove both).
   struct LevelRun {
     trace::Level level{};
     ingest::StreamedRun run;
@@ -108,6 +112,7 @@ int replay_trace(const std::string& path, const engine::EngineConfig& cfg,
     std::string remap_summary;
     int nranks = 0;
   };
+  serve::PredictionServer server({.engine = cfg});
   std::vector<LevelRun> runs;
   try {
     for (const trace::Level level : source->levels()) {
@@ -115,8 +120,22 @@ int replay_trace(const std::string& path, const engine::EngineConfig& cfg,
           ingest::apply_transforms(ingest::open_event_stream(path, level), flags.transforms);
       LevelRun lr;
       lr.level = level;
-      lr.run = ingest::StreamingReplay{.engine = cfg, .batch_events = flags.batch_events}.run(
-          *chain.stream);
+      const auto session = server.open_session();
+      lr.run = ingest::run_into(*chain.stream, *session, flags.batch_events);
+
+      // Wrapper-vs-session gate: the single-tenant engine over a second
+      // pass of the stream must reproduce the session's report exactly.
+      auto wrapper_chain =
+          ingest::apply_transforms(ingest::open_event_stream(path, level), flags.transforms);
+      const ingest::StreamedRun wrapper =
+          ingest::StreamingReplay{.engine = cfg, .batch_events = flags.batch_events}.run(
+              *wrapper_chain.stream);
+      if (wrapper.report != lr.run.report) {
+        std::fprintf(stderr, "serve gate FAILED: session report differs from the engine "
+                             "wrapper's at the %s level\n",
+                     std::string(to_string(level)).c_str());
+        return 2;
+      }
       lr.nranks = source->nranks();
       if (chain.window != nullptr) {
         lr.window_summary = chain.window->summary();
@@ -221,8 +240,19 @@ int main(int argc, char** argv) {
   const int rank = trace::representative_rank(world.traces(), trace::Level::Logical);
   std::printf("  representative process: %d\n\n", rank);
 
+  // One resident server, one session per level — and the wrapper path
+  // (run_over_trace = a standalone engine) must agree byte for byte.
+  serve::PredictionServer server({.engine = cfg});
   for (const auto level : {trace::Level::Logical, trace::Level::Physical}) {
     const auto report = engine::run_over_trace(world.traces(), level, cfg);
+    const auto session = server.open_session();
+    session->observe_all(engine::events_from_trace(world.traces(), level));
+    if (session->report() != report) {
+      std::fprintf(stderr, "serve gate FAILED: session report differs from the engine's at "
+                           "the %s level\n",
+                   std::string(to_string(level)).c_str());
+      return 2;
+    }
     print_level_report(level, report, rank, procs, shards);
   }
   std::printf("\n(the logical level is a pure function of the program; the physical level\n"

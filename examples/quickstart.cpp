@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "common/error.hpp"
-#include "core/stream_predictor.hpp"
+#include "core/predictor.hpp"
 #include "engine/registry.hpp"
 
 int main(int argc, char** argv) {
@@ -31,15 +31,17 @@ int main(int argc, char** argv) {
   std::printf("predictor: %s\n", std::string(predictor->name()).c_str());
 
   std::printf("observing the stream...\n");
-  // The paper's predictor exposes the detected period; show the moment it
-  // locks on.
-  const auto* dpd = dynamic_cast<const core::StreamPredictor*>(predictor.get());
+  // Periodicity-based families expose the detected period as a trait;
+  // show the moment it locks on (families without the trait stay quiet).
   bool announced = false;
   for (int i = 0; i < 50; ++i) {
     predictor->observe(pattern[static_cast<std::size_t>(i) % pattern.size()]);
-    if (dpd && !announced && dpd->period()) {
-      std::printf("  after %2d samples: period %zu detected\n", i + 1, *dpd->period());
-      announced = true;
+    if (!announced) {
+      if (const auto period = core::trait(*predictor, "period")) {
+        std::printf("  after %2d samples: period %lld detected\n", i + 1,
+                    static_cast<long long>(*period));
+        announced = true;
+      }
     }
   }
 

@@ -1,15 +1,17 @@
 // External traces through the whole stack: open any supported trace file
 // (run `trace_export` or `predict_nas --export-trace` to make one, or
 // bring a `time_ns,sender,receiver,bytes[,kind]` flat CSV from a real
-// capture tool), replay it through the registry/engine path per level —
-// streamed: the file is parsed in pulled batches that overlap the engine's
-// shard drain — and drive the adaptive runtime's decision layer over the
-// arrival stream; no simulator involved. `--window` slices a capture-time
-// range and `--remap-ranks` folds/subsets the rank space before anything
-// else sees the events. Ends with the determinism gates: engine reports
-// must be byte-identical across shard counts {1,2,4}, across batch sizes
-// {64,4096,unbounded}, and across a write_csv round trip; exits 2 on any
-// mismatch.
+// capture tool), replay it through the resident prediction service — one
+// PredictionServer, one session per trace level, each file parsed in
+// pulled batches that overlap the shard drain — and drive the adaptive
+// runtime's decision layer over the arrival stream; no simulator
+// involved. `--window` slices a capture-time range and `--remap-ranks`
+// folds/subsets the rank space before anything else sees the events. Ends
+// with the determinism gates: every session's report must be
+// byte-identical to the single-tenant engine wrapper's over the same
+// stream, and engine reports must match across shard counts {1,2,4},
+// batch sizes {64,4096,unbounded}, and a write_csv round trip; exits 2 on
+// any mismatch.
 //
 //   $ ./examples/replay_trace --trace <file> [--predictor <name>] [--shards <n>]
 //       [--batch-events <n>] [--window <t0>:<t1>] [--remap-ranks <spec>]
@@ -26,6 +28,7 @@
 #include "ingest/streaming.hpp"
 #include "ingest/transform.hpp"
 #include "ingest/verify.hpp"
+#include "serve/server.hpp"
 
 namespace {
 
@@ -84,10 +87,12 @@ int main(int argc, char** argv) {
               flags.batch_events);
 
   // The paper's accuracy question, answered from the file alone through
-  // the streamed default path: the incremental reader feeds the engine in
-  // batches (parse of batch N+1 overlapped with the drain of batch N).
-  // The last level's transformed arrivals double as the adaptive replay's
-  // input below (physical, when the format records it).
+  // the resident service: one PredictionServer, one isolated session per
+  // trace level, each fed by the incremental reader in batches (parse of
+  // batch N+1 overlapped with the drain of batch N). The last level's
+  // transformed arrivals double as the adaptive replay's input below
+  // (physical, when the format records it).
+  serve::PredictionServer server({.engine = cfg});
   std::vector<engine::Event> arrivals;
   try {
     std::vector<ingest::TimedEvent> last_level_events;
@@ -98,9 +103,23 @@ int main(int argc, char** argv) {
       if (level == source->levels().back()) {
         stream = std::make_unique<TeeStream>(std::move(stream), last_level_events);
       }
-      const ingest::StreamedRun run =
+      const auto session = server.open_session();
+      const ingest::StreamedRun run = ingest::run_into(*stream, *session, flags.batch_events);
+
+      // Wrapper-vs-session gate: the single-tenant engine over a second
+      // pass of the same stream must reproduce the session's report byte
+      // for byte — the serve layer may never change a number.
+      auto wrapper_chain = ingest::apply_transforms(ingest::open_event_stream(flags.path, level),
+                                                    flags.transforms);
+      const ingest::StreamedRun wrapper =
           ingest::StreamingReplay{.engine = cfg, .batch_events = flags.batch_events}.run(
-              *stream);
+              *wrapper_chain.stream);
+      if (wrapper.report != run.report) {
+        std::fprintf(stderr, "serve gate FAILED: session report differs from the engine "
+                             "wrapper's at the %s level\n",
+                     std::string(to_string(level)).c_str());
+        return 2;
+      }
       std::printf("%s level: %lld messages over %zu streams in %zu batches, +1 accuracy "
                   "senders %.1f%% / sizes %.1f%%\n",
                   std::string(to_string(level)).c_str(), static_cast<long long>(run.events),
@@ -145,7 +164,8 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  std::printf("gates: adaptive replay and engine reports byte-identical across shards {1,2,4}, "
-              "batch sizes {64,4096,unbounded}, and a write_csv round trip\n");
+  std::printf("gates: session == engine wrapper per level; adaptive replay and engine reports "
+              "byte-identical across shards {1,2,4}, batch sizes {64,4096,unbounded}, and a "
+              "write_csv round trip\n");
   return 0;
 }

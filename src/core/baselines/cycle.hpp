@@ -33,6 +33,16 @@ class CyclePredictor final : public Predictor {
   /// occurrences of the most recent value), if one exists.
   [[nodiscard]] std::optional<std::size_t> cycle() const noexcept { return cycle_; }
 
+  /// "history" always; "cycle" only while a hypothesis exists (the
+  /// cycle family's analogue of the DPD's "period" trait).
+  [[nodiscard]] std::vector<PredictorTrait> describe() const override {
+    std::vector<PredictorTrait> out = {{"history", static_cast<std::int64_t>(history_)}};
+    if (cycle_.has_value()) {
+      out.push_back({"cycle", static_cast<std::int64_t>(*cycle_)});
+    }
+    return out;
+  }
+
  private:
   std::size_t horizon_;
   std::size_t history_;

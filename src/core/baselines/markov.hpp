@@ -37,6 +37,11 @@ class MarkovPredictor final : public Predictor {
   /// Number of distinct contexts in the transition table.
   [[nodiscard]] std::size_t table_size() const noexcept { return table_.size(); }
 
+  [[nodiscard]] std::vector<PredictorTrait> describe() const override {
+    return {{"order", static_cast<std::int64_t>(order_)},
+            {"contexts", static_cast<std::int64_t>(table_.size())}};
+  }
+
  private:
   using Context = std::vector<Value>;
 

@@ -4,9 +4,21 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <string_view>
+#include <vector>
 
 namespace mpipred::core {
+
+/// One named live metric of a predictor ("period", "samples", "order",
+/// ...) — the generic introspection hook that lets tools report
+/// family-specific internals (a DPD's detected period, a Markov chain's
+/// order) without downcasting to concrete types, so registry-driven
+/// sweeps work for every family uniformly.
+struct PredictorTrait {
+  std::string name;
+  std::int64_t value = 0;
+};
 
 /// Common interface for message-stream predictors, used by the evaluation
 /// harness and the baseline comparison (§6 of the paper). A predictor
@@ -44,6 +56,24 @@ class Predictor {
   /// the per-stream cost the engine's memory reports aggregate. Estimates
   /// are fine; container node overhead may be approximated.
   [[nodiscard]] virtual std::size_t footprint_bytes() const = 0;
+
+  /// Family-specific live metrics by stable name (e.g. a DPD's detected
+  /// "period"). Empty by default; families expose what they have. Order
+  /// and names are stable per family, values reflect the current state.
+  [[nodiscard]] virtual std::vector<PredictorTrait> describe() const { return {}; }
 };
+
+/// The current value of `predictor`'s trait `name`, or nullopt if the
+/// family does not expose it — the downcast-free way to ask "what period
+/// did this predictor detect?" of an arbitrary registry-built predictor.
+[[nodiscard]] inline std::optional<std::int64_t> trait(const Predictor& predictor,
+                                                       std::string_view name) {
+  for (const PredictorTrait& t : predictor.describe()) {
+    if (t.name == name) {
+      return t.value;
+    }
+  }
+  return std::nullopt;
+}
 
 }  // namespace mpipred::core

@@ -35,6 +35,19 @@ class StreamPredictor final : public Predictor {
   [[nodiscard]] std::unique_ptr<Predictor> clone_fresh() const override;
   [[nodiscard]] std::size_t footprint_bytes() const override;
 
+  /// "window" and "max_period" always; "period" only while one is
+  /// detected (so trait(p, "period") doubles as the detection flag).
+  [[nodiscard]] std::vector<PredictorTrait> describe() const override {
+    std::vector<PredictorTrait> out = {
+        {"window", static_cast<std::int64_t>(cfg_.dpd.window)},
+        {"max_period", static_cast<std::int64_t>(cfg_.dpd.max_period)},
+    };
+    if (const auto p = period()) {
+      out.push_back({"period", static_cast<std::int64_t>(*p)});
+    }
+    return out;
+  }
+
   /// All horizons at once: index i holds the prediction for +.(i+1).
   [[nodiscard]] std::vector<std::optional<Value>> predict_all() const;
 

@@ -42,6 +42,20 @@ class WindowedDpdPredictor final : public Predictor {
 
   [[nodiscard]] std::int64_t samples() const noexcept { return total_; }
 
+  /// "window", "max_period", and "samples" always; "period" only while
+  /// the full-window criterion currently declares one.
+  [[nodiscard]] std::vector<PredictorTrait> describe() const override {
+    std::vector<PredictorTrait> out = {
+        {"window", static_cast<std::int64_t>(cfg_.window)},
+        {"max_period", static_cast<std::int64_t>(cfg_.max_period)},
+        {"samples", total_},
+    };
+    if (const auto p = period()) {
+      out.push_back({"period", static_cast<std::int64_t>(*p)});
+    }
+    return out;
+  }
+
  private:
   [[nodiscard]] std::size_t buffered() const noexcept;
   [[nodiscard]] Value value_at_lag(std::size_t lag) const;

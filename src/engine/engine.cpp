@@ -30,13 +30,21 @@ StreamKey key_for(const Event& event, const KeyPolicy& policy) noexcept {
           .tag = policy.by_tag ? event.tag : kAnyKey};
 }
 
+namespace {
+
+ShardSetOptions shard_options(const EngineConfig& cfg) {
+  return {.feed = cfg.feed, .min_parallel_batch = cfg.min_parallel_batch};
+}
+
+}  // namespace
+
 PredictionEngine::PredictionEngine(EngineConfig cfg)
     : cfg_(std::move(cfg)),
       prototype_(make_predictor(cfg_.predictor, cfg_.options)),
       horizon_(std::min(cfg_.options.horizon, prototype_->max_horizon())) {
   MPIPRED_REQUIRE(horizon_ >= 1, "engine horizon must be at least 1");
   shards_ = std::make_unique<ShardSet>(effective_shard_count(cfg_.shards), *prototype_, horizon_,
-                                       cfg_.key);
+                                       cfg_.key, shard_options(cfg_));
 }
 
 PredictionEngine::PredictionEngine(const core::Predictor& prototype, KeyPolicy policy)
@@ -46,7 +54,7 @@ PredictionEngine::PredictionEngine(const core::Predictor& prototype, KeyPolicy p
   cfg_.key = policy;
   MPIPRED_REQUIRE(horizon_ >= 1, "engine horizon must be at least 1");
   shards_ = std::make_unique<ShardSet>(effective_shard_count(cfg_.shards), *prototype_, horizon_,
-                                       cfg_.key);
+                                       cfg_.key, shard_options(cfg_));
 }
 
 PredictionEngine::PredictionEngine(PredictionEngine&&) noexcept = default;
@@ -65,13 +73,14 @@ void PredictionEngine::observe(const Event& event) { shards_->observe_one(event)
 
 void PredictionEngine::observe_all(std::span<const Event> events) { shards_->feed(events); }
 
-void PredictionEngine::observe_batches(const BatchProducer& produce) {
+void drive_batches(const BatchProducer& produce,
+                   const std::function<void(std::span<const Event>)>& feed) {
   std::vector<Event> current;
   std::vector<Event> next;
   produce(current);
   while (!current.empty()) {
     // Double buffering: the producer parses batch N+1 on its own thread
-    // while the shard set drains batch N. Batches are handed over at the
+    // while the consumer feeds batch N. Batches are handed over at the
     // join, so the feed order — and therefore every report — is exactly
     // the sequential one.
     std::exception_ptr producer_error;
@@ -84,7 +93,7 @@ void PredictionEngine::observe_batches(const BatchProducer& produce) {
       }
     });
     try {
-      shards_->feed(current);
+      feed(current);
     } catch (...) {
       producer.join();
       throw;
@@ -95,6 +104,10 @@ void PredictionEngine::observe_batches(const BatchProducer& produce) {
     }
     current.swap(next);
   }
+}
+
+void PredictionEngine::observe_batches(const BatchProducer& produce) {
+  drive_batches(produce, [this](std::span<const Event> batch) { shards_->feed(batch); });
 }
 
 std::optional<core::Predictor::Value> PredictionEngine::predict_sender(const StreamKey& key,
@@ -138,46 +151,7 @@ StreamRef PredictionEngine::stream(const StreamKey& key) const {
   return StreamRef(shards_->find(key));
 }
 
-namespace {
-
-void accumulate(core::AccuracyReport& total, const core::AccuracyReport& part) {
-  if (total.horizons.size() < part.horizons.size()) {
-    total.horizons.resize(part.horizons.size());
-  }
-  for (std::size_t i = 0; i < part.horizons.size(); ++i) {
-    total.horizons[i].hits += part.horizons[i].hits;
-    total.horizons[i].misses += part.horizons[i].misses;
-    total.horizons[i].unpredicted += part.horizons[i].unpredicted;
-  }
-}
-
-}  // namespace
-
-EngineReport PredictionEngine::report() const {
-  EngineReport out;
-  out.streams.reserve(stream_count());
-  shards_->for_each_stream([&out](const StreamKey& key, const StreamState& state) {
-    StreamReport row;
-    row.key = key;
-    row.events = state.events;
-    row.senders = state.sender_eval.report();
-    row.sizes = state.size_eval.report();
-    row.footprint_bytes =
-        state.sender_predictor->footprint_bytes() + state.size_predictor->footprint_bytes();
-    out.streams.push_back(std::move(row));
-  });
-  // Canonical key order, then aggregate over the sorted rows: integer sums
-  // are order-independent, so the report is identical for any shard count.
-  std::sort(out.streams.begin(), out.streams.end(),
-            [](const StreamReport& a, const StreamReport& b) { return a.key < b.key; });
-  for (const StreamReport& row : out.streams) {
-    out.events += row.events;
-    accumulate(out.aggregate_senders, row.senders);
-    accumulate(out.aggregate_sizes, row.sizes);
-    out.total_footprint_bytes += row.footprint_bytes;
-  }
-  return out;
-}
+EngineReport PredictionEngine::report() const { return report_of(*shards_); }
 
 std::vector<Event> events_from_trace(const trace::TraceStore& store, trace::Level level,
                                      const trace::StreamFilter& filter) {

@@ -16,6 +16,10 @@
 #include "trace/merge.hpp"
 #include "trace/store.hpp"
 
+namespace mpipred::serve {
+class Session;
+}
+
 namespace mpipred::engine {
 
 /// "src=3 dst=1 tag=*" — for report rows and error messages.
@@ -87,10 +91,25 @@ class StreamRef {
 
  private:
   friend class PredictionEngine;
+  friend class mpipred::serve::Session;
   explicit StreamRef(const StreamState* state) : state_(state) {}
 
   const StreamState* state_;
 };
+
+/// Fills a cleared buffer with the next batch of events; leaving it empty
+/// signals the end of the feed. Calls never overlap — a producer may reuse
+/// captured state without locking.
+using BatchProducer = std::function<void(std::vector<Event>&)>;
+
+/// Double-buffered pull loop shared by every batched feed path (engine,
+/// serve session): repeatedly asks `produce` for the next batch and hands
+/// it to `feed`, overlapping the production (parse) of batch N+1 with the
+/// feed of batch N on a second thread. Batches are handed over at the
+/// join, so the feed order is exactly the sequential one. A throw from
+/// `produce` propagates after the in-flight feed completes.
+void drive_batches(const BatchProducer& produce,
+                   const std::function<void(std::span<const Event>)>& feed);
 
 /// Online multi-stream prediction: demultiplexes a global trace of MPI
 /// events into per-key streams and maintains, per stream, one predictor
@@ -131,11 +150,6 @@ class PredictionEngine {
   void observe(const Event& event);
 
   void observe_all(std::span<const Event> events);
-
-  /// Fills a cleared buffer with the next batch of events; leaving it
-  /// empty signals the end of the feed. Calls never overlap — a producer
-  /// may reuse captured state without locking.
-  using BatchProducer = std::function<void(std::vector<Event>&)>;
 
   /// Pull-based batched feed — the streaming-ingest hook. Repeatedly asks
   /// `produce` for the next batch and feeds it through the sharded

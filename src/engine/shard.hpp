@@ -3,17 +3,22 @@
 // The parallel substrate of PredictionEngine: per-stream state, an
 // open-addressing stream table, and the shard set that hash-partitions
 // streams across worker threads. Split out of engine.cpp so the table and
-// partitioning are unit-testable and reusable (trace replay, src/scale
-// routing) without going through a full engine.
+// partitioning are unit-testable and reusable without going through a full
+// engine — the serve layer builds one ShardSet per tenant session on top
+// of a shared WorkerPool and the same invariants.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "core/accuracy.hpp"
 #include "core/predictor.hpp"
+#include "engine/arena.hpp"
 #include "engine/engine.hpp"
+#include "engine/worker_pool.hpp"
 
 namespace mpipred::engine {
 
@@ -32,6 +37,10 @@ struct StreamState {
   core::AccuracyEvaluator sender_eval;
   core::AccuracyEvaluator size_eval;
   std::int64_t events = 0;
+  /// Value of the owning set's feed clock when this stream last received
+  /// an event — the recency the serve layer's cold-stream eviction sorts
+  /// by. Never part of a report.
+  std::uint64_t last_touch = 0;
 };
 
 /// Deterministic 64-bit mix of all three key dimensions (splitmix64
@@ -40,17 +49,23 @@ struct StreamState {
 [[nodiscard]] std::uint64_t stream_key_hash(const StreamKey& key) noexcept;
 
 /// Open-addressing (linear-probing, power-of-two capacity) map from
-/// StreamKey to StreamState. States live behind stable heap pointers, so
-/// references returned by find_or_create survive growth; entries() walks
-/// insertion order, which is deterministic for a deterministic feed.
+/// StreamKey to StreamState. States live in a pooled arena behind stable
+/// pointers, so references returned by find_or_create survive growth;
+/// entries() walks insertion order, which is deterministic for a
+/// deterministic feed. erase() (the serve layer's eviction hook) recycles
+/// the state's arena slot and leaves a tombstone in the probe sequence;
+/// erasing one stream never perturbs any other stream's state.
 class StreamTable {
  public:
   struct Entry {
     StreamKey key{};
-    std::unique_ptr<StreamState> state;
+    StreamState* state = nullptr;  // owned via the table's arena
   };
 
   StreamTable();
+  StreamTable(StreamTable&&) noexcept = default;
+  StreamTable& operator=(StreamTable&&) noexcept = default;
+  ~StreamTable();
 
   /// The state of `key`, created from `prototype` on first sight. The
   /// hash-taking overloads let callers that already hashed the key (for
@@ -62,11 +77,15 @@ class StreamTable {
     return find_or_create(key, stream_key_hash(key), prototype, horizon);
   }
 
-  /// nullptr for keys never observed.
+  /// nullptr for keys never observed (or evicted since).
   [[nodiscard]] const StreamState* find(const StreamKey& key, std::uint64_t hash) const noexcept;
   [[nodiscard]] const StreamState* find(const StreamKey& key) const noexcept {
     return find(key, stream_key_hash(key));
   }
+
+  /// Destroys the stream `key` and recycles its slot; false if unknown.
+  bool erase(const StreamKey& key, std::uint64_t hash);
+  bool erase(const StreamKey& key) { return erase(key, stream_key_hash(key)); }
 
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
 
@@ -77,11 +96,13 @@ class StreamTable {
 
   struct Slot {
     StreamKey key{};
-    std::uint32_t index = 0;  // 0 = empty, else entries_[index - 1]
+    std::uint32_t index = 0;  // 0 = empty, kTombstone = erased, else entries_[index - 1]
   };
 
   std::vector<Slot> slots_;
   std::vector<Entry> entries_;
+  std::size_t tombstones_ = 0;
+  PoolArena<StreamState> arena_;
 };
 
 /// One worker shard: its partition of the stream table plus the reusable
@@ -95,15 +116,17 @@ class EngineShard {
   /// Routes one event into this shard's table; `key`/`hash` are the
   /// event's precomputed stream key and its hash (already needed for
   /// shard routing — recomputing them per event would double the
-  /// demux cost this layer exists to cut).
-  void observe(const Event& event, const StreamKey& key, std::uint64_t hash);
+  /// demux cost this layer exists to cut). `tick` stamps the stream's
+  /// last_touch recency.
+  void observe(const Event& event, const StreamKey& key, std::uint64_t hash, std::uint64_t tick);
 
   /// Processes the queued batch in order, then clears it (keeping its
   /// capacity for the next feed).
-  void drain(const KeyPolicy& policy);
+  void drain(const KeyPolicy& policy, std::uint64_t tick);
 
   [[nodiscard]] std::vector<Event>& batch() noexcept { return batch_; }
   [[nodiscard]] const StreamTable& table() const noexcept { return table_; }
+  [[nodiscard]] StreamTable& table() noexcept { return table_; }
 
  private:
   const core::Predictor* prototype_;
@@ -112,18 +135,36 @@ class EngineShard {
   std::vector<Event> batch_;
 };
 
+/// Runtime wiring of a ShardSet beyond the stream-space partitioning: the
+/// feed mode, the resident pool and feed clock to use (owned when null —
+/// the serve layer passes its shared ones so every tenant session reuses
+/// one set of worker threads and one recency clock), and the inline
+/// threshold.
+struct ShardSetOptions {
+  FeedMode feed = FeedMode::persistent;
+  /// Batches below this run inline on the caller's thread; 0 = default.
+  std::size_t min_parallel_batch = 0;
+  /// Shared resident workers (must have >= shards - 1 slots and outlive
+  /// the set); nullptr = the set lazily owns its own.
+  WorkerPool* pool = nullptr;
+  /// Shared feed clock for StreamState::last_touch; nullptr = own one.
+  std::atomic<std::uint64_t>* clock = nullptr;
+};
+
 /// Fixed set of shards hash-partitioning the stream space. feed() is the
 /// batched path: events are queued per shard, then all non-empty shards
-/// drain concurrently (one thread each, caller's thread included) and are
+/// drain concurrently — on resident worker threads woken per feed
+/// (FeedMode::persistent, the caller's thread included) or on threads
+/// spawned per feed (FeedMode::spawn, the measurable baseline) — and are
 /// joined before feed returns; observe_one() is the online path on the
 /// caller's thread. Because a stream lives in exactly one shard and each
 /// shard consumes its queue in feed order, results never depend on shard
-/// count or thread interleaving.
+/// count, feed mode, or thread interleaving.
 class ShardSet {
  public:
-  /// `prototype` must outlive the set (the engine owns it).
+  /// `prototype` must outlive the set (the engine or server owns it).
   ShardSet(std::size_t shards, const core::Predictor& prototype, std::size_t horizon,
-           KeyPolicy policy);
+           KeyPolicy policy, ShardSetOptions options = {});
 
   void observe_one(const Event& event);
 
@@ -132,6 +173,11 @@ class ShardSet {
   /// unprocessed queued events are dropped by the next feed, never
   /// replayed.
   void feed(std::span<const Event> events);
+
+  /// Evicts the stream `key`, returning the predictor bytes it held;
+  /// nullopt if unknown. Surviving streams are untouched: their rows in a
+  /// later report are identical to a run that never held `key`'s state.
+  std::optional<std::size_t> erase(const StreamKey& key);
 
   [[nodiscard]] const StreamState* find(const StreamKey& key) const noexcept;
   [[nodiscard]] std::size_t stream_count() const noexcept;
@@ -150,9 +196,27 @@ class ShardSet {
 
  private:
   [[nodiscard]] std::size_t shard_index(std::uint64_t hash) const noexcept;
+  [[nodiscard]] std::uint64_t next_tick() noexcept;
+  void observe_tick(const Event& event, std::uint64_t tick);
+  void partition(std::span<const Event> events);
+  void feed_persistent(std::uint64_t tick);
+  void feed_spawn(std::uint64_t tick);
 
   KeyPolicy policy_;
   std::vector<EngineShard> shards_;
+  FeedMode mode_;
+  std::size_t min_parallel_;
+  WorkerPool* pool_;                        // resident workers actually used
+  std::unique_ptr<WorkerPool> owned_pool_;  // set when options.pool was null
+  std::atomic<std::uint64_t>* clock_;
+  std::atomic<std::uint64_t> own_clock_{0};
+  std::vector<std::size_t> pending_;  // reused worker-slot scratch
 };
+
+/// The canonical report over a shard set: per-stream rows in key order
+/// plus order-independent aggregates — the one implementation behind
+/// PredictionEngine::report() and serve::Session::report(), so the
+/// single-tenant wrapper and the session path cannot drift apart.
+[[nodiscard]] EngineReport report_of(const ShardSet& shards);
 
 }  // namespace mpipred::engine

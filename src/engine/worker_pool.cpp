@@ -1,0 +1,136 @@
+#include "engine/worker_pool.hpp"
+
+#include <system_error>
+#include <utility>
+
+namespace mpipred::engine {
+
+WorkerPool::WorkerPool(std::size_t workers) {
+  slots_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  for (const auto& slot : slots_) {
+    {
+      std::lock_guard lk(slot->mu);
+      slot->stop = true;
+    }
+    slot->cv.notify_all();
+    if (slot->started) {
+      slot->thread.join();
+    }
+  }
+}
+
+std::size_t WorkerPool::started_count() const noexcept {
+  std::size_t count = 0;
+  for (const auto& slot : slots_) {
+    count += slot->started ? 1 : 0;
+  }
+  return count;
+}
+
+bool WorkerPool::ensure_started(Slot& slot) {
+  if (slot.started) {
+    return true;
+  }
+  try {
+    slot.thread = std::thread([this, &slot] { worker_loop(slot); });
+  } catch (const std::system_error&) {
+    return false;  // thread exhaustion: caller runs this slot's job inline
+  }
+  slot.started = true;
+  return true;
+}
+
+void WorkerPool::worker_loop(Slot& slot) {
+  for (;;) {
+    const Job* job = nullptr;
+    std::size_t index = 0;
+    {
+      std::unique_lock lk(slot.mu);
+      slot.cv.wait(lk, [&] { return slot.stop || slot.job != nullptr; });
+      if (slot.job == nullptr) {
+        return;  // stop with nothing pending; a pending job always runs first
+      }
+      job = slot.job;
+      index = slot.index;
+    }
+    std::exception_ptr error;
+    try {
+      (*job)(index);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard lk(slot.mu);
+      slot.job = nullptr;
+      slot.error = error;
+    }
+    slot.cv.notify_all();
+  }
+}
+
+void WorkerPool::run(std::span<const std::size_t> slots, const Job& job,
+                     const std::function<void()>& caller_job) {
+  const std::lock_guard serialize(run_mu_);
+  std::exception_ptr inline_error;
+  // Dispatch phase: hand each named slot its job and wake only it. Slots
+  // whose threads cannot start run here, on the calling thread, so the
+  // result is the same set of jobs either way.
+  for (const std::size_t index : slots) {
+    Slot& slot = *slots_[index];
+    if (!ensure_started(slot)) {
+      try {
+        job(index);
+      } catch (...) {
+        if (!inline_error) {
+          inline_error = std::current_exception();
+        }
+      }
+      continue;
+    }
+    {
+      std::lock_guard lk(slot.mu);
+      slot.job = &job;
+      slot.index = index;
+    }
+    slot.cv.notify_all();
+  }
+  std::exception_ptr caller_error;
+  try {
+    caller_job();
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+  // Join phase: wait for every signalled slot to drop its job pointer.
+  // Always completes the full wait before rethrowing — an error in one
+  // shard must not abandon another shard's in-flight drain.
+  std::exception_ptr first_worker_error;
+  for (const std::size_t index : slots) {
+    Slot& slot = *slots_[index];
+    if (!slot.started) {
+      continue;  // ran inline above
+    }
+    std::unique_lock lk(slot.mu);
+    slot.cv.wait(lk, [&] { return slot.job == nullptr; });
+    if (slot.error && !first_worker_error) {
+      first_worker_error = slot.error;
+    }
+    slot.error = nullptr;
+  }
+  if (caller_error) {
+    std::rethrow_exception(caller_error);
+  }
+  if (first_worker_error) {
+    std::rethrow_exception(first_worker_error);
+  }
+  if (inline_error) {
+    std::rethrow_exception(inline_error);
+  }
+}
+
+}  // namespace mpipred::engine

@@ -1,0 +1,87 @@
+#pragma once
+
+// Resident worker threads for the sharded feed path. The previous engine
+// launched and joined one std::thread per shard on every observe_all /
+// observe_batches call, so small online batches paid a thread-spawn per
+// feed; a WorkerPool keeps one long-lived thread per worker slot instead,
+// woken by a per-slot condition variable only when its shard's queue is
+// non-empty. One pool can serve many shard sets (the serve layer shares a
+// single pool across every tenant session); dispatches from different
+// threads are serialized internally.
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+namespace mpipred::engine {
+
+/// Fixed set of resident worker threads, one per slot, each woken through
+/// its own condition variable — the shard fan-out never broadcasts to
+/// workers that have nothing queued. Threads start lazily on the first
+/// dispatch that needs them and are joined by the destructor (which first
+/// lets any in-flight job finish: shutdown never drops queued work).
+class WorkerPool {
+ public:
+  /// Work for one dispatch: called as job(slot) on slot's resident thread.
+  using Job = std::function<void(std::size_t)>;
+
+  /// `workers` slots (may be 0: every dispatch then runs entirely on the
+  /// calling thread).
+  explicit WorkerPool(std::size_t workers);
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Blocks until in-flight jobs finish, then stops and joins all threads.
+  /// Must not race a concurrent run() call.
+  ~WorkerPool();
+
+  /// Wakes the slots named in `slots` to execute job(slot), runs
+  /// caller_job() on the calling thread, and returns when every job has
+  /// completed. The first error (worker or caller) is rethrown after all
+  /// jobs finish, so no job is ever abandoned mid-flight. A slot whose
+  /// thread cannot be started (thread exhaustion) runs its job on the
+  /// calling thread instead — work is never lost. Concurrent run() calls
+  /// from different threads are serialized internally (the serve layer's
+  /// tenants share one pool); the jobs of one dispatch must not themselves
+  /// call run().
+  void run(std::span<const std::size_t> slots, const Job& job,
+           const std::function<void()>& caller_job);
+
+  [[nodiscard]] std::size_t worker_count() const noexcept { return slots_.size(); }
+
+  /// Threads actually started so far (lazy: 0 until the first dispatch).
+  [[nodiscard]] std::size_t started_count() const noexcept;
+
+ private:
+  struct Slot {
+    std::mutex mu;
+    std::condition_variable cv;
+    /// Non-null while a job is pending or executing on this slot; the
+    /// handoff in both directions happens under `mu`, which is what makes
+    /// the shard-state writes of the worker visible to the next reader.
+    const Job* job = nullptr;
+    std::size_t index = 0;
+    bool stop = false;
+    std::exception_ptr error;
+    bool started = false;
+    std::thread thread;
+  };
+
+  void worker_loop(Slot& slot);
+
+  /// True when the slot's thread is running (started now or earlier).
+  bool ensure_started(Slot& slot);
+
+  std::vector<std::unique_ptr<Slot>> slots_;
+  /// Serializes whole dispatches; per-slot mutexes only guard handoffs.
+  std::mutex run_mu_;
+};
+
+}  // namespace mpipred::engine

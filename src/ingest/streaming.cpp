@@ -429,25 +429,8 @@ std::unique_ptr<EventStream> open_event_stream(const std::string& path, trace::L
 // StreamingReplay
 
 StreamedRun StreamingReplay::run(EventStream& stream) const {
-  StreamedRun out;
   engine::PredictionEngine eng(engine);
-  const std::size_t limit =
-      batch_events == 0 ? std::numeric_limits<std::size_t>::max() : batch_events;
-  std::vector<TimedEvent> timed;
-  eng.observe_batches([&](std::vector<engine::Event>& batch) {
-    timed.clear();
-    (void)stream.next_batch(limit, timed);
-    batch.reserve(timed.size());
-    for (const TimedEvent& te : timed) {
-      batch.push_back(te.event);
-    }
-    if (!timed.empty()) {
-      ++out.batches;
-      out.events += static_cast<std::int64_t>(timed.size());
-    }
-  });
-  out.report = eng.report();
-  return out;
+  return run_into(stream, eng, batch_events);
 }
 
 }  // namespace mpipred::ingest

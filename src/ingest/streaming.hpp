@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -144,10 +145,39 @@ struct StreamedRun {
   std::size_t batches = 0;
 };
 
-/// The driver of the streamed default path: pulls batches from an
-/// EventStream and feeds them through PredictionEngine::observe_batches,
-/// which overlaps the production (parse) of batch N+1 with the shard
-/// drain of batch N. `batch_events == 0` means unbounded (one batch).
+/// Drives any batched-feed target over `stream`: pulls `batch_events` at
+/// a time (0 = unbounded, one pull) and pushes each batch through
+/// `target.observe_batches`, which overlaps the production (parse) of
+/// batch N+1 with the drain of batch N. `Target` is anything exposing the
+/// engine's batched verb pair — `observe_batches(BatchProducer)` and
+/// `report()` — so the same driver serves a standalone PredictionEngine
+/// and a serve::Session; the two paths must produce byte-identical
+/// reports (the wrapper-vs-session gates in the examples pin this).
+template <typename Target>
+StreamedRun run_into(EventStream& stream, Target& target,
+                     std::size_t batch_events = kDefaultBatchEvents) {
+  StreamedRun out;
+  const std::size_t limit =
+      batch_events == 0 ? std::numeric_limits<std::size_t>::max() : batch_events;
+  std::vector<TimedEvent> timed;
+  target.observe_batches([&](std::vector<engine::Event>& batch) {
+    timed.clear();
+    (void)stream.next_batch(limit, timed);
+    batch.reserve(timed.size());
+    for (const TimedEvent& te : timed) {
+      batch.push_back(te.event);
+    }
+    if (!timed.empty()) {
+      ++out.batches;
+      out.events += static_cast<std::int64_t>(timed.size());
+    }
+  });
+  out.report = target.report();
+  return out;
+}
+
+/// The single-tenant convenience over run_into: constructs a fresh
+/// PredictionEngine from `engine` and drives it over the stream.
 struct StreamingReplay {
   engine::EngineConfig engine{};
   std::size_t batch_events = kDefaultBatchEvents;
