@@ -11,12 +11,78 @@
 
 namespace mpipred::mpi::detail {
 
-Endpoint::Endpoint(World& world, int rank) : world_(&world), rank_(rank) {
+Endpoint::Endpoint(World& world, int rank)
+    : world_(&world), rank_(rank), progress_([this](ProgressTask& t) { dispatch(t); }) {
   credit_used_.assign(static_cast<std::size_t>(world.nranks()), 0);
   send_queue_.resize(static_cast<std::size_t>(world.nranks()));
 }
 
 void Endpoint::wake_owner() { world_->engine().rank(rank_).unblock(); }
+
+sim::SimTime Endpoint::progress_quantum() const {
+  return sim::from_ns(world_->config().progress_poll_ns);
+}
+
+void Endpoint::dispatch(ProgressTask& task) {
+  switch (task.kind) {
+    case ProgressTask::Kind::EagerArrival: handle_eager(task.arrival); return;
+    case ProgressTask::Kind::RtsArrival: handle_rts(task.arrival); return;
+    case ProgressTask::Kind::RendezvousData: handle_data(task.send, task.recv); return;
+    case ProgressTask::Kind::CreditRelease: handle_credit(task.peer, task.bytes); return;
+    case ProgressTask::Kind::Callback: task.fn(); return;
+  }
+}
+
+void Endpoint::submit_delivery(ProgressTask task) {
+  // FeedPath::Inline charges the prediction feed on the receive path: the
+  // packet waits behind the feed work, exactly what the pre-refactor
+  // inline architecture would cost. FeedPath::Progress leaves delivery
+  // timing untouched (the cost is tracked in note_adaptive_arrival's
+  // busy-until bookkeeping instead) — that difference is the quantity
+  // bench_async_overlap measures.
+  const auto& adaptive = world_->config().adaptive;
+  const std::int64_t cost_ns =
+      (world_->adaptive_policy() != nullptr && adaptive.feed_path == adaptive::FeedPath::Inline)
+          ? adaptive.predict_cost_ns
+          : 0;
+  if (cost_ns <= 0) {
+    progress_.submit(std::move(task));
+    return;
+  }
+  world_->engine().schedule_after(sim::from_ns(cost_ns), [this, task = std::move(task)]() mutable {
+    progress_.submit(std::move(task));
+  });
+}
+
+void Endpoint::deliver_eager(Arrival arrival) {
+  ProgressTask task;
+  task.kind = ProgressTask::Kind::EagerArrival;
+  task.arrival = std::move(arrival);
+  submit_delivery(std::move(task));
+}
+
+void Endpoint::deliver_rts(Arrival arrival) {
+  ProgressTask task;
+  task.kind = ProgressTask::Kind::RtsArrival;
+  task.arrival = std::move(arrival);
+  submit_delivery(std::move(task));
+}
+
+void Endpoint::deliver_data(std::shared_ptr<SendState> send, std::shared_ptr<RecvState> recv) {
+  ProgressTask task;
+  task.kind = ProgressTask::Kind::RendezvousData;
+  task.send = std::move(send);
+  task.recv = std::move(recv);
+  submit_delivery(std::move(task));
+}
+
+void Endpoint::credit_returned(int peer, std::int64_t bytes) {
+  ProgressTask task;
+  task.kind = ProgressTask::Kind::CreditRelease;
+  task.peer = peer;
+  task.bytes = bytes;
+  progress_.submit(std::move(task));
+}
 
 bool Endpoint::matches(const RecvState& recv, const Arrival& arrival) noexcept {
   if (recv.comm_id != arrival.comm_id) {
@@ -84,6 +150,20 @@ bool Endpoint::note_adaptive_arrival(int sender, std::int64_t bytes, trace::OpKi
   } else {
     ++counters_.prepost_misses;
   }
+  // Charge the feed's simulated cost. Decisions above are unaffected — the
+  // cost models the latency of the predict → pre-post → reconcile step,
+  // not its outcome. Under FeedPath::Progress this is pure bookkeeping
+  // (work overlapped with whatever the rank does next); under Inline the
+  // same cost was already paid as a delivery delay in submit_delivery.
+  const std::int64_t cost_ns = world_->config().adaptive.predict_cost_ns;
+  if (cost_ns > 0) {
+    const sim::SimTime now = world_->engine().now();
+    const sim::SimTime start = std::max(now, feed_busy_until_);
+    feed_busy_until_ = start + sim::from_ns(cost_ns);
+    counters_.adaptive_feed_ns += cost_ns;
+    counters_.adaptive_feed_lag_peak_ns =
+        std::max(counters_.adaptive_feed_lag_peak_ns, (feed_busy_until_ - now).count());
+  }
   return hit && world_->config().adaptive.prepost_buffers;
 }
 
@@ -145,7 +225,7 @@ std::shared_ptr<SendState> Endpoint::post_send(std::span<const std::byte> data, 
   }
 
   // Rendezvous: announce with an RTS; the payload moves only after the
-  // receiver grants a CTS (see grant_cts / on_data).
+  // receiver grants a CTS (see grant_cts / handle_data).
   const auto timing = net.plan_transfer(rank_, dst, world_->config().control_bytes, eng.now());
   Endpoint& dst_ep = world_->endpoint(dst);
   eng.schedule(timing.delivery, [&dst_ep, send] {
@@ -158,7 +238,7 @@ std::shared_ptr<SendState> Endpoint::post_send(std::span<const std::byte> data, 
     arrival.kind = send->kind;
     arrival.op = send->op;
     arrival.send = send;
-    dst_ep.on_rts(arrival);
+    dst_ep.deliver_rts(std::move(arrival));
   });
   return send;
 }
@@ -183,24 +263,54 @@ void Endpoint::launch_eager(const std::shared_ptr<SendState>& send) {
     arrival.op = send->op;
     arrival.elided = send->elided;
     arrival.payload = send->payload;
-    dst_ep.on_eager(arrival);
+    dst_ep.deliver_eager(std::move(arrival));
   });
-  eng.schedule(timing.sender_free, [this, send] {
-    send->complete = true;
-    wake_owner();
-  });
+  eng.schedule(timing.sender_free, [this, send] { finish_send(send); });
 }
 
-void Endpoint::release_credit(int dst, std::int64_t bytes) {
+void Endpoint::finish_send(const std::shared_ptr<SendState>& send) {
+  send->complete = true;
+  if (!send->callbacks.empty()) {
+    const Status st{send->dst, send->tag, send->bytes};
+    for (auto& cb : send->callbacks) {
+      ProgressTask task;
+      task.kind = ProgressTask::Kind::Callback;
+      task.fn = [cb = std::move(cb), st] { cb(st); };
+      progress_.submit(std::move(task));
+    }
+    send->callbacks.clear();
+  }
+  wake_owner();
+}
+
+void Endpoint::finish_recv(const std::shared_ptr<RecvState>& recv, const Status& st) {
+  recv->complete = true;
+  recv->status = st;
+  for (auto& cb : recv->callbacks) {
+    ProgressTask task;
+    task.kind = ProgressTask::Kind::Callback;
+    task.fn = [cb = std::move(cb), st] { cb(st); };
+    progress_.submit(std::move(task));
+  }
+  recv->callbacks.clear();
+  if (recv_notify_) {
+    ProgressTask task;
+    task.kind = ProgressTask::Kind::Callback;
+    task.fn = [this, st] { recv_notify_(st); };
+    progress_.submit(std::move(task));
+  }
+}
+
+void Endpoint::handle_credit(int peer, std::int64_t bytes) {
   if (world_->config().per_pair_credit_bytes <= 0) {
     return;
   }
-  auto& used = credit_used_[static_cast<std::size_t>(dst)];
+  auto& used = credit_used_[static_cast<std::size_t>(peer)];
   used -= std::min(used, bytes);
-  auto& queue = send_queue_[static_cast<std::size_t>(dst)];
+  auto& queue = send_queue_[static_cast<std::size_t>(peer)];
   const std::int64_t credit = world_->config().per_pair_credit_bytes;
-  while (!queue.empty() && (queue.front()->elided || used == 0 ||
-                            used + queue.front()->bytes <= credit)) {
+  while (!queue.empty() &&
+         (queue.front()->elided || used == 0 || used + queue.front()->bytes <= credit)) {
     auto next = queue.front();
     queue.pop_front();
     launch_eager(next);
@@ -253,6 +363,29 @@ std::shared_ptr<RecvState> Endpoint::post_recv(std::span<std::byte> buffer, int 
   return recv;
 }
 
+bool Endpoint::cancel_recv(const std::shared_ptr<RecvState>& recv) {
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    if (*it == recv) {
+      posted_.erase(it);
+      recv->cancelled = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Endpoint::cancel_send(const std::shared_ptr<SendState>& send) {
+  auto& queue = send_queue_[static_cast<std::size_t>(send->dst)];
+  for (auto it = queue.begin(); it != queue.end(); ++it) {
+    if (*it == send) {
+      queue.erase(it);
+      send->cancelled = true;
+      return true;
+    }
+  }
+  return false;
+}
+
 std::shared_ptr<RecvState> Endpoint::take_posted_match(const Arrival& arrival) {
   for (auto it = posted_.begin(); it != posted_.end(); ++it) {
     if (matches(**it, arrival)) {
@@ -277,8 +410,7 @@ void Endpoint::deliver_eager_to(const std::shared_ptr<RecvState>& recv, const Ar
                 static_cast<std::size_t>(arrival.bytes));
   }
   recv->matched = true;
-  recv->complete = true;
-  recv->status = Status{arrival.src, arrival.tag, arrival.bytes};
+  finish_recv(recv, Status{arrival.src, arrival.tag, arrival.bytes});
   resolve_logical(*recv, arrival.src, arrival.bytes);
   // The receiver's per-peer buffer slot is free again: return the credit
   // to the sender (event-scheduled: this may run in either context). An
@@ -289,7 +421,7 @@ void Endpoint::deliver_eager_to(const std::shared_ptr<RecvState>& recv, const Ar
     const std::int64_t freed = arrival.bytes;
     const int me = rank_;
     world_->engine().schedule(world_->engine().now(),
-                              [&src_ep, me, freed] { src_ep.release_credit(me, freed); });
+                              [&src_ep, me, freed] { src_ep.credit_returned(me, freed); });
   }
   wake_owner();
 }
@@ -299,23 +431,21 @@ void Endpoint::grant_cts(const std::shared_ptr<SendState>& send,
   // CTS travels receiver -> sender; once it lands, the payload is planned
   // from that moment (both legs consume real NIC/wire resources).
   sim::Engine& eng = world_->engine();
-  const auto cts = eng.network().plan_transfer(rank_, send->src, world_->config().control_bytes,
-                                               eng.now());
+  const auto cts =
+      eng.network().plan_transfer(rank_, send->src, world_->config().control_bytes, eng.now());
   eng.schedule(cts.delivery, [this, send, recv] {
     sim::Engine& e = world_->engine();
     const std::int64_t header = world_->config().header_bytes;
-    const auto data = e.network().plan_transfer(send->src, send->dst, send->bytes + header,
-                                                e.now());
+    const auto data =
+        e.network().plan_transfer(send->src, send->dst, send->bytes + header, e.now());
     Endpoint& dst_ep = world_->endpoint(send->dst);
-    e.schedule(data.delivery, [&dst_ep, send, recv] { dst_ep.on_data(send, recv); });
-    e.schedule(data.sender_free, [this2 = &world_->endpoint(send->src), send] {
-      send->complete = true;
-      this2->wake_owner();
-    });
+    e.schedule(data.delivery, [&dst_ep, send, recv] { dst_ep.deliver_data(send, recv); });
+    e.schedule(data.sender_free,
+               [src_ep = &world_->endpoint(send->src), send] { src_ep->finish_send(send); });
   });
 }
 
-void Endpoint::on_eager(const Arrival& arrival) {
+void Endpoint::handle_eager(const Arrival& arrival) {
   ++counters_.eager_received;
   record_physical(arrival.src, arrival.bytes, arrival.kind, arrival.op);
   bool preposted = note_adaptive_arrival(arrival.src, arrival.bytes, arrival.kind);
@@ -346,7 +476,7 @@ void Endpoint::on_eager(const Arrival& arrival) {
   unexpected_.push_back(arrival);
 }
 
-void Endpoint::on_rts(const Arrival& arrival) {
+void Endpoint::handle_rts(const Arrival& arrival) {
   if (auto recv = take_posted_match(arrival)) {
     recv->matched = true;
     resolve_logical(*recv, arrival.src, arrival.bytes);
@@ -360,8 +490,8 @@ void Endpoint::on_rts(const Arrival& arrival) {
   unexpected_.push_back(arrival);
 }
 
-void Endpoint::on_data(const std::shared_ptr<SendState>& send,
-                       const std::shared_ptr<RecvState>& recv) {
+void Endpoint::handle_data(const std::shared_ptr<SendState>& send,
+                           const std::shared_ptr<RecvState>& recv) {
   ++counters_.rendezvous_received;
   record_physical(send->src, send->bytes, send->kind, send->op);
   // Accounting only: the recv is already matched, so no buffer routing —
@@ -377,8 +507,7 @@ void Endpoint::on_data(const std::shared_ptr<SendState>& send,
   if (send->bytes > 0) {
     std::memcpy(recv->buffer.data(), send->payload->data(), static_cast<std::size_t>(send->bytes));
   }
-  recv->complete = true;
-  recv->status = Status{send->src, send->tag, send->bytes};
+  finish_recv(recv, Status{send->src, send->tag, send->bytes});
   wake_owner();
 }
 

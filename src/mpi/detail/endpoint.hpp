@@ -2,9 +2,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <span>
 
+#include "mpi/detail/progress.hpp"
 #include "mpi/detail/state.hpp"
 #include "mpi/types.hpp"
 #include "sim/engine.hpp"
@@ -43,12 +45,23 @@ struct EndpointCounters {
   /// Sender side: large sends that skipped the RTS/CTS handshake because
   /// the receiver's predictions anticipated them.
   std::int64_t rendezvous_elided = 0;
+  /// Simulated ns of adaptive feed work (predict → pre-post → reconcile)
+  /// charged at `RuntimeConfig::predict_cost_ns` per fed arrival. Under
+  /// FeedPath::Progress this work runs off the critical path and only
+  /// shows up here; under FeedPath::Inline it also delays delivery.
+  std::int64_t adaptive_feed_ns = 0;
+  /// Worst backlog of the off-critical-path feed: how far (simulated ns)
+  /// the prediction service's busy-until horizon ever ran ahead of the
+  /// arrival that queued the work.
+  std::int64_t adaptive_feed_lag_peak_ns = 0;
 };
 
 /// The per-rank bottom half of the MPI library: tag matching, the
 /// eager/rendezvous protocol, and both trace hooks. Post operations are
-/// called from the owning rank's fiber; `on_*` handlers run in engine event
-/// context when packets arrive.
+/// called from the owning rank's fiber. Packet deliveries enter through the
+/// `deliver_*`/`credit_returned` entry points (engine event context), which
+/// wrap the packet in a ProgressTask; matching, adaptive feed, buffer
+/// routing, and credit release all execute as drained progress tasks.
 class Endpoint {
  public:
   Endpoint(World& world, int rank);
@@ -69,26 +82,74 @@ class Endpoint {
                                                      std::uint32_t comm_id, trace::OpKind kind,
                                                      trace::Op op);
 
+  // --- network-delivery entry points (engine event context) ---------------
+  // Each submits one progress task; the queue drains synchronously, so the
+  // packet is processed at exactly this simulated instant unless an inline
+  // adaptive feed cost (FeedPath::Inline) is configured.
+
+  void deliver_eager(Arrival arrival);
+  void deliver_rts(Arrival arrival);
+  void deliver_data(std::shared_ptr<SendState> send, std::shared_ptr<RecvState> recv);
+  void credit_returned(int peer, std::int64_t bytes);
+
+  // --- cooperative progress & cancellation (owner fiber context) ----------
+
+  /// Drains pending progress tasks. Returns true if any task ran.
+  bool progress_poll() { return progress_.poll(); }
+
+  /// Simulated duration of one unsuccessful progress poll
+  /// (WorldConfig::progress_poll_ns).
+  [[nodiscard]] sim::SimTime progress_quantum() const;
+
+  /// Removes an unmatched receive from the posted queue. Returns false if
+  /// the receive already matched (cancellation lost the race).
+  bool cancel_recv(const std::shared_ptr<RecvState>& recv);
+
+  /// Removes a still-queued (credit-stalled) eager send. Returns false if
+  /// the payload already left (launched or rendezvous-announced).
+  bool cancel_send(const std::shared_ptr<SendState>& send);
+
+  /// Registers a hook invoked (as a progress task) for every receive that
+  /// completes on this endpoint — user and collective traffic alike.
+  void set_recv_notify(std::function<void(const Status&)> cb) { recv_notify_ = std::move(cb); }
+
+  /// Called by the source endpoint when a send owned by this rank
+  /// completes: flips the state, dispatches then() continuations as
+  /// progress tasks, and wakes the owner.
+  void finish_send(const std::shared_ptr<SendState>& send);
+
   [[nodiscard]] const EndpointCounters& counters() const noexcept { return counters_; }
+  [[nodiscard]] const ProgressStats& progress_stats() const noexcept { return progress_.stats(); }
   [[nodiscard]] int rank() const noexcept { return rank_; }
 
  private:
-  // Packet handlers (event context).
-  void on_eager(const Arrival& arrival);
-  void on_rts(const Arrival& arrival);
-  void on_data(const std::shared_ptr<SendState>& send, const std::shared_ptr<RecvState>& recv);
+  // Task bodies (run inside the progress drain).
+  void dispatch(ProgressTask& task);
+  void handle_eager(const Arrival& arrival);
+  void handle_rts(const Arrival& arrival);
+  void handle_data(const std::shared_ptr<SendState>& send, const std::shared_ptr<RecvState>& recv);
+  void handle_credit(int peer, std::int64_t bytes);
+
+  /// Routes a delivery task through the progress queue. Under
+  /// FeedPath::Inline with a nonzero predict cost, the submit is delayed by
+  /// that cost — modelling prediction work on the receive critical path.
+  void submit_delivery(ProgressTask task);
 
   // §2.1 per-pair eager flow control (sender side): an eager message may
   // only fly while the receiver's per-peer buffer has room; otherwise it
   // queues here until a credit returns.
   void launch_eager(const std::shared_ptr<SendState>& send);
-  void release_credit(int dst, std::int64_t bytes);
 
   // Matching helpers.
   [[nodiscard]] static bool matches(const RecvState& recv, const Arrival& arrival) noexcept;
   [[nodiscard]] std::shared_ptr<RecvState> take_posted_match(const Arrival& arrival);
   void deliver_eager_to(const std::shared_ptr<RecvState>& recv, const Arrival& arrival);
   void grant_cts(const std::shared_ptr<SendState>& send, const std::shared_ptr<RecvState>& recv);
+
+  /// Completion tail shared by the eager and rendezvous paths: flips the
+  /// state, then dispatches then() continuations and the recv-notify hook
+  /// as progress tasks (they run before the owner's fiber resumes).
+  void finish_recv(const std::shared_ptr<RecvState>& recv, const Status& st);
 
   void record_logical_post(RecvState& recv);
   void resolve_logical(const RecvState& recv, int sender, std::int64_t bytes);
@@ -103,10 +164,16 @@ class Endpoint {
 
   World* world_;
   int rank_;
+  ProgressEngine progress_;
   std::deque<std::shared_ptr<RecvState>> posted_;
   std::deque<Arrival> unexpected_;
-  std::vector<std::int64_t> credit_used_;                          // per destination
+  std::vector<std::int64_t> credit_used_;                           // per destination
   std::vector<std::deque<std::shared_ptr<SendState>>> send_queue_;  // per destination
+  std::function<void(const Status&)> recv_notify_;
+  /// Busy-until horizon of the deferred (FeedPath::Progress) adaptive
+  /// feed: bookkeeping only, never scheduled — the async path must leave
+  /// the event stream untouched.
+  sim::SimTime feed_busy_until_{0};
   EndpointCounters counters_;
 };
 

@@ -1,0 +1,54 @@
+#include "mpi/detail/progress.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace mpipred::mpi::detail {
+
+ProgressEngine::ProgressEngine(Handler handler) : handler_(std::move(handler)) {
+  MPIPRED_REQUIRE(handler_ != nullptr, "progress engine needs a task handler");
+}
+
+void ProgressEngine::submit(ProgressTask t) {
+  ++stats_.submitted;
+  ++stats_.by_kind[static_cast<std::size_t>(t.kind)];
+  queue_.push_back(std::move(t));
+  stats_.max_queue_depth =
+      std::max(stats_.max_queue_depth, static_cast<std::int64_t>(queue_.size()));
+  if (!draining_) {
+    (void)drain();
+  }
+}
+
+bool ProgressEngine::poll() {
+  if (draining_) {
+    return false;  // already inside a drain pass; it will finish the queue
+  }
+  return drain();
+}
+
+bool ProgressEngine::drain() {
+  struct DrainGuard {  // handlers may throw (e.g. message truncation)
+    bool& flag;
+    ~DrainGuard() { flag = false; }
+  };
+  draining_ = true;
+  DrainGuard guard{draining_};
+  bool ran = false;
+  while (!queue_.empty()) {
+    // Move the task out first: the handler may submit (push_back) and a
+    // reference into the deque would not survive reallocation of its map.
+    ProgressTask task = std::move(queue_.front());
+    queue_.pop_front();
+    ++stats_.executed;
+    ran = true;
+    handler_(task);
+  }
+  if (ran) {
+    ++stats_.drains;
+  }
+  return ran;
+}
+
+}  // namespace mpipred::mpi::detail

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "mpi/detail/state.hpp"
+
+namespace mpipred::mpi::detail {
+
+/// One unit of receive-side library work. Packet arrivals, credit returns,
+/// and completion callbacks are all expressed as tasks so the endpoint's
+/// bottom half has a single, inspectable execution pipeline instead of
+/// ad-hoc inline work in the delivery handlers.
+struct ProgressTask {
+  enum class Kind : std::uint8_t {
+    EagerArrival,    ///< match or park a delivered eager payload
+    RtsArrival,      ///< match or park a rendezvous announcement
+    RendezvousData,  ///< land a granted rendezvous payload
+    CreditRelease,   ///< return per-pair eager credit, relaunch queued sends
+    Callback,        ///< user completion callback / recv-notify hook
+  };
+  static constexpr int kKinds = 5;
+
+  Kind kind = Kind::Callback;
+  Arrival arrival{};                // EagerArrival / RtsArrival
+  std::shared_ptr<SendState> send;  // RendezvousData
+  std::shared_ptr<RecvState> recv;  // RendezvousData
+  int peer = -1;                    // CreditRelease
+  std::int64_t bytes = 0;           // CreditRelease
+  std::function<void()> fn;         // Callback
+};
+
+struct ProgressStats {
+  std::int64_t submitted = 0;
+  std::int64_t executed = 0;
+  std::int64_t drains = 0;  ///< drain passes that executed at least one task
+  std::int64_t max_queue_depth = 0;
+  std::int64_t by_kind[ProgressTask::kKinds] = {};
+};
+
+/// FIFO pending-operation queue with a synchronous drain. `submit` enqueues
+/// and — unless a drain is already running — immediately drains the queue to
+/// empty, dispatching each task to the handler in submission order. Tasks
+/// submitted by a handler (reentrant submits) append behind the task being
+/// processed and run in the same drain pass, never nested.
+///
+/// The synchronous drain is a deliberate equivalence argument: work routed
+/// through the queue executes at exactly the point it would have executed
+/// inline, so converting a handler body into a task is behavior-preserving
+/// by construction (the trace gate in mpi_gate_test pins this). An explicit
+/// `poll()` exists for cooperative progress (MPI_Test semantics): it drains
+/// whatever is pending and reports whether anything ran.
+///
+/// Single-threaded by design — it runs in the simulation's event loop (or a
+/// caller's thread in unit tests); there is no locking to get wrong.
+class ProgressEngine {
+ public:
+  using Handler = std::function<void(ProgressTask&)>;
+
+  explicit ProgressEngine(Handler handler);
+
+  ProgressEngine(const ProgressEngine&) = delete;
+  ProgressEngine& operator=(const ProgressEngine&) = delete;
+
+  /// Enqueues `t`; drains the queue unless a drain is already in progress.
+  void submit(ProgressTask t);
+
+  /// Drains any pending tasks. Returns true if at least one task ran.
+  bool poll();
+
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty() && !draining_; }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] const ProgressStats& stats() const noexcept { return stats_; }
+
+ private:
+  bool drain();
+
+  Handler handler_;
+  std::deque<ProgressTask> queue_;
+  bool draining_ = false;
+  ProgressStats stats_;
+};
+
+}  // namespace mpipred::mpi::detail

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -30,6 +31,11 @@ struct SendState {
   /// eager credit.
   bool elided = false;
   bool complete = false;
+  /// Removed from the send queue by Future::cancel() before launch.
+  bool cancelled = false;
+  /// then() continuations, dispatched as progress tasks at completion
+  /// (before the owner's fiber resumes).
+  std::vector<std::function<void(const Status&)>> callbacks;
 };
 
 /// State of one receive operation.
@@ -44,8 +50,14 @@ struct RecvState {
   bool matched = false;   // a message (or its RTS) has been bound to this recv
   bool complete = false;  // payload landed in `buffer`, `status` valid
   Status status{};
+  /// Removed from the posted queue by Future::cancel() before matching.
+  /// The logical trace record (if any) stays unresolved.
+  bool cancelled = false;
   bool logical_recorded = false;
   std::size_t logical_index = 0;  // valid when logical_recorded
+  /// then() continuations, dispatched as progress tasks at completion
+  /// (before the owner's fiber resumes).
+  std::vector<std::function<void(const Status&)>> callbacks;
 };
 
 /// An arrival the receiver was not ready for: either a complete eager

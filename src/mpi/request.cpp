@@ -1,0 +1,153 @@
+#include "mpi/request.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "mpi/detail/endpoint.hpp"
+#include "sim/engine.hpp"
+
+namespace mpipred::mpi {
+
+Future::Future(detail::Endpoint& ep, sim::Rank& rank, std::shared_ptr<detail::SendState> s)
+    : ep_(&ep), rank_(&rank), send_(std::move(s)) {}
+
+Future::Future(detail::Endpoint& ep, sim::Rank& rank, std::shared_ptr<detail::RecvState> r)
+    : ep_(&ep), rank_(&rank), recv_(std::move(r)) {}
+
+void Future::require_owner(const char* op) const {
+  const int current = rank_->engine().current_rank();
+  if (current != rank_->id()) {
+    std::ostringstream os;
+    os << op << "() called from rank " << current << " on a request bound to owning rank "
+       << rank_->id() << " — requests may only be driven by the rank that created them";
+    throw UsageError(os.str());
+  }
+}
+
+std::string Future::describe() const {
+  std::ostringstream os;
+  if (send_) {
+    os << "send(dst=" << send_->dst << ", tag=" << send_->tag << ")";
+  } else if (recv_) {
+    os << "recv(src=";
+    if (recv_->src_filter == kAnySource) {
+      os << "any";
+    } else {
+      os << recv_->src_filter;
+    }
+    os << ", tag=";
+    if (recv_->tag_filter == kAnyTag) {
+      os << "any";
+    } else {
+      os << recv_->tag_filter;
+    }
+    os << ")";
+  } else {
+    os << "null";
+  }
+  return os.str();
+}
+
+bool Future::test() {
+  if (ready()) {
+    return true;
+  }
+  require_owner("test");
+  // One progress step: drain whatever the endpoint has pending; if that
+  // did nothing and the operation is still in flight, the completion can
+  // only come from a future delivery — yield one poll quantum so the
+  // event loop can run it. Without the yield a spin loop on test() would
+  // freeze simulated time (the live-lock this API replaces).
+  if (!ep_->progress_poll() && !ready()) {
+    rank_->idle_poll(ep_->progress_quantum());
+  }
+  return ready();
+}
+
+void Future::wait() {
+  if (ready()) {
+    return;
+  }
+  require_owner("wait");
+  while (!ready()) {
+    rank_->block(send_ ? "wait(send)" : "wait(recv)");
+  }
+}
+
+void Future::then(std::function<void(const Status&)> cb) {
+  MPIPRED_REQUIRE(cb != nullptr, "then() needs a callable continuation");
+  MPIPRED_REQUIRE(valid(), "then() on a null request");
+  if (send_) {
+    if (send_->cancelled) {
+      return;
+    }
+    if (send_->complete) {
+      cb(Status{send_->dst, send_->tag, send_->bytes});
+      return;
+    }
+    send_->callbacks.push_back(std::move(cb));
+    return;
+  }
+  if (recv_->cancelled) {
+    return;
+  }
+  if (recv_->complete) {
+    cb(recv_->status);
+    return;
+  }
+  recv_->callbacks.push_back(std::move(cb));
+}
+
+bool Future::cancel() {
+  if (!valid() || ready()) {
+    return false;
+  }
+  require_owner("cancel");
+  if (recv_) {
+    if (recv_->matched) {
+      return false;  // a message (or its RTS) is already bound to this recv
+    }
+    return ep_->cancel_recv(recv_);
+  }
+  return ep_->cancel_send(send_);
+}
+
+const Status& Future::status() const {
+  MPIPRED_REQUIRE(recv_ != nullptr && recv_->complete,
+                  "status() requires a completed receive request");
+  return recv_->status;
+}
+
+void Future::wait_all(std::span<Future> reqs) {
+  sim::Rank* owner = nullptr;
+  for (Future& r : reqs) {
+    if (!r.valid()) {
+      continue;  // null entries are trivially complete
+    }
+    if (!r.ready()) {
+      r.require_owner("wait_all");
+    }
+    MPIPRED_REQUIRE(owner == nullptr || owner == r.rank_,
+                    "wait_all requires all requests to share one owning rank");
+    owner = r.rank_;
+  }
+  if (owner == nullptr) {
+    return;
+  }
+  for (;;) {
+    const Future* blocking = nullptr;
+    for (Future& r : reqs) {
+      if (r.valid() && !r.ready()) {
+        blocking = &r;
+        break;
+      }
+    }
+    if (blocking == nullptr) {
+      return;
+    }
+    owner->block("wait_all: " + blocking->describe());
+  }
+}
+
+}  // namespace mpipred::mpi

@@ -1,68 +1,107 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <span>
-#include <utility>
 
-#include "common/assert.hpp"
 #include "mpi/detail/state.hpp"
 #include "mpi/status.hpp"
-#include "sim/engine.hpp"
+
+namespace mpipred::sim {
+class Rank;
+}  // namespace mpipred::sim
 
 namespace mpipred::mpi {
 
-/// Handle for a nonblocking operation (isend/irecv). Default-constructed
-/// requests are null. Copyable: copies share the underlying operation.
-class Request {
+namespace detail {
+class Endpoint;
+}  // namespace detail
+
+/// Future-style handle for a nonblocking operation (isend/irecv).
+/// Default-constructed futures are null (trivially ready). Copyable: copies
+/// share the underlying operation, and any copy observes completion.
+///
+/// A future is bound to the rank that created it. `ready()` is a pure
+/// observation and is valid anywhere (including after World::run returns);
+/// `test()`, `wait()`, and `cancel()` drive or mutate the owning rank's
+/// progress engine and must be called from the owning rank's fiber —
+/// calling them from another rank throws UsageError instead of silently
+/// corrupting the scheduler.
+///
+/// Completion semantics:
+///  - `test()` drives one progress step (MPI_Test): it drains the owning
+///    endpoint's pending-task queue, and if nothing ran and the operation
+///    is still incomplete, yields one poll quantum of simulated time so
+///    deliveries can land. A spin loop on test() therefore advances the
+///    simulation instead of live-locking it.
+///  - `wait()` is progress-until-ready: it blocks the owning fiber and is
+///    woken by the completion task.
+///  - `then(cb)` registers a continuation dispatched as a progress task at
+///    completion, before the owner's fiber resumes. A continuation added
+///    after completion runs immediately in the caller's context.
+///  - `cancel()` revokes an operation whose effects have not started: an
+///    unmatched receive, or an eager send still queued for credit. A
+///    cancelled future is ready; a cancelled receive never completes and
+///    its continuations never run.
+class Future {
  public:
-  Request() = default;
+  Future() = default;
 
   [[nodiscard]] bool valid() const noexcept { return send_ != nullptr || recv_ != nullptr; }
 
-  /// True once the operation has completed (nonblocking probe).
-  [[nodiscard]] bool test() const noexcept {
+  /// True once the operation has completed or been cancelled. Pure
+  /// observation: never drives progress, callable from any context.
+  [[nodiscard]] bool ready() const noexcept {
     if (send_) {
-      return send_->complete;
+      return send_->complete || send_->cancelled;
     }
     if (recv_) {
-      return recv_->complete;
+      return recv_->complete || recv_->cancelled;
     }
-    return true;  // null requests are trivially complete
+    return true;  // null futures are trivially ready
   }
+
+  /// Drives one progress step and reports completion (MPI_Test).
+  bool test();
 
   /// Blocks the calling rank until the operation completes.
-  void wait() {
-    MPIPRED_REQUIRE(rank_ != nullptr || !valid(), "cannot wait on a detached request");
-    while (!test()) {
-      rank_->block(send_ ? "wait(send)" : "wait(recv)");
-    }
-  }
+  void wait();
+
+  /// Registers `cb` to run with the completion Status. Send futures see
+  /// Status{dst, tag, bytes}. Cancelled operations drop continuations.
+  void then(std::function<void(const Status&)> cb);
+
+  /// Attempts to revoke the operation; see class comment. Returns false if
+  /// the operation already completed, matched, or launched.
+  bool cancel();
 
   /// Receive completion status; only valid for completed receives.
-  [[nodiscard]] const Status& status() const {
-    MPIPRED_REQUIRE(recv_ != nullptr && recv_->complete,
-                    "status() requires a completed receive request");
-    return recv_->status;
-  }
+  [[nodiscard]] const Status& status() const;
 
-  /// Waits for every request in `reqs` (they may complete in any order).
-  static void wait_all(std::span<Request> reqs) {
-    for (Request& r : reqs) {
-      r.wait();
-    }
-  }
+  /// Waits for every valid future in `reqs` (they may complete in any
+  /// order); null entries are skipped. Blocks on an all-complete predicate
+  /// with a reason naming the specific operation still outstanding, so a
+  /// deadlock report points at the stuck request instead of a generic
+  /// wait(recv).
+  static void wait_all(std::span<Future> reqs);
 
  private:
   friend class Communicator;
 
-  Request(sim::Rank& rank, std::shared_ptr<detail::SendState> s)
-      : rank_(&rank), send_(std::move(s)) {}
-  Request(sim::Rank& rank, std::shared_ptr<detail::RecvState> r)
-      : rank_(&rank), recv_(std::move(r)) {}
+  Future(detail::Endpoint& ep, sim::Rank& rank, std::shared_ptr<detail::SendState> s);
+  Future(detail::Endpoint& ep, sim::Rank& rank, std::shared_ptr<detail::RecvState> r);
 
+  /// Throws UsageError unless the currently executing fiber is the owner.
+  void require_owner(const char* op) const;
+  [[nodiscard]] std::string describe() const;
+
+  detail::Endpoint* ep_ = nullptr;
   sim::Rank* rank_ = nullptr;
   std::shared_ptr<detail::SendState> send_;
   std::shared_ptr<detail::RecvState> recv_;
 };
+
+/// The historical name: every pre-async call site keeps compiling.
+using Request = Future;
 
 }  // namespace mpipred::mpi

@@ -79,6 +79,11 @@ struct WorldConfig {
   std::int64_t control_bytes = 64;
   /// Per-message header bytes added to every wire transfer.
   std::int64_t header_bytes = 32;
+  /// Simulated duration of one unsuccessful progress poll: what a
+  /// test()/progress() call costs when the pending queue is empty. This is
+  /// what lets a spin loop on test() advance simulated time (MPI_Test
+  /// semantics) instead of live-locking the event engine. Must be > 0.
+  std::int64_t progress_poll_ns = 1000;
   /// Record streams at the top of the library (program order)?
   bool record_logical = true;
   /// Record streams at the bottom of the library (arrival order)?

@@ -12,6 +12,8 @@ World::World(int nranks, WorldConfig cfg)
     : cfg_(cfg), engine_(nranks, cfg.engine), traces_(nranks) {
   MPIPRED_REQUIRE(cfg.eager_threshold_bytes >= 0, "eager threshold cannot be negative");
   MPIPRED_REQUIRE(cfg.control_bytes > 0, "control messages need a positive size");
+  MPIPRED_REQUIRE(cfg.progress_poll_ns > 0, "progress poll quantum must be positive");
+  MPIPRED_REQUIRE(cfg.adaptive.predict_cost_ns >= 0, "predict cost cannot be negative");
   if (cfg.adaptive.enabled) {
     adaptive::PolicyConfig policy_cfg = cfg.adaptive.policy;
     // One protocol cutoff: the policy elides exactly the messages the
@@ -57,6 +59,8 @@ detail::EndpointCounters World::aggregate_counters() const {
     total.preposted_bytes_now += c.preposted_bytes_now;
     total.preposted_bytes_peak += c.preposted_bytes_peak;
     total.rendezvous_elided += c.rendezvous_elided;
+    total.adaptive_feed_ns += c.adaptive_feed_ns;
+    total.adaptive_feed_lag_peak_ns += c.adaptive_feed_lag_peak_ns;
   }
   return total;
 }

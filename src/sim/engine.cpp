@@ -37,6 +37,22 @@ void Rank::compute_exact(SimTime d) {
   }
 }
 
+void Rank::idle_poll(SimTime d) {
+  MPIPRED_REQUIRE(d > SimTime{0}, "poll quantum must be positive");
+  // Same shape as compute_exact, but semantically a yield: the rank is not
+  // doing work, it is giving the event loop a quantum in which deliveries
+  // addressed to it may land. Spurious wakeups (e.g. a completion event)
+  // re-block until the quantum elapses; the caller re-checks its predicate.
+  bool done = false;
+  engine_->schedule_after(d, [this, &done] {
+    done = true;
+    unblock();
+  });
+  while (!done) {
+    block("progress-poll");
+  }
+}
+
 void Rank::block(std::string why) {
   MPIPRED_REQUIRE(Fiber::current() != nullptr, "block() must run inside a rank fiber");
   MPIPRED_REQUIRE(!blocked_, "rank is already blocked");
@@ -98,7 +114,10 @@ void Engine::resume_rank(int r) {
     return;
   }
   ++stats_.context_switches;
+  const int prev = current_rank_;
+  current_rank_ = r;
   f.resume();  // rethrows anything that escaped the rank body
+  current_rank_ = prev;
 }
 
 std::string Engine::describe_blocked_ranks() const {

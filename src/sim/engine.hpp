@@ -35,6 +35,13 @@ class Rank {
   /// Spends exactly `d` of simulated CPU time (no jitter).
   void compute_exact(SimTime d);
 
+  /// Yields this rank to the event loop for exactly `d` of simulated time —
+  /// the quantum one unsuccessful progress poll costs. Unlike compute, a
+  /// poll is interruptible bookkeeping: pending deliveries for this rank
+  /// fire while it sleeps, which is what lets a test()/progress() spin loop
+  /// advance simulated time instead of live-locking.
+  void idle_poll(SimTime d);
+
   /// Suspends this rank until some event handler calls unblock(). `why` is
   /// kept for deadlock diagnostics. Must be called from this rank's fiber.
   void block(std::string why);
@@ -87,6 +94,12 @@ class Engine {
   /// Current simulated time. Valid during and after run().
   [[nodiscard]] SimTime now() const noexcept { return now_; }
 
+  /// The rank whose fiber is currently executing, or -1 in engine (event
+  /// handler) context. This is what binds nonblocking-operation handles to
+  /// their owning rank: wait/test from the wrong fiber is a diagnosable
+  /// usage error instead of scheduler corruption.
+  [[nodiscard]] int current_rank() const noexcept { return current_rank_; }
+
   [[nodiscard]] int nranks() const noexcept { return static_cast<int>(ranks_.size()); }
   [[nodiscard]] Network& network() noexcept { return network_; }
   [[nodiscard]] const EngineConfig& config() const noexcept { return cfg_; }
@@ -125,6 +138,7 @@ class Engine {
   std::vector<std::unique_ptr<Fiber>> fibers_;
   EngineStats stats_;
   bool running_ = false;
+  int current_rank_ = -1;
 };
 
 }  // namespace mpipred::sim

@@ -289,6 +289,100 @@ TEST(P2P, InvalidArgumentsThrow) {
                UsageError);
 }
 
+// -------------------------------------------------- request semantics --
+
+TEST(P2P, TestDrivesProgress) {
+  // MPI_Test semantics: a rank spinning on test() without ever blocking
+  // must still observe completion — each unsuccessful test() drives one
+  // progress step and lets one poll quantum of simulated time pass.
+  // Before the async front-end, test() was a pure flag probe: simulated
+  // time froze under the spin and no iteration count could complete it.
+  World world(2);
+  std::int32_t v = 0;  // outlives the fibers
+  bool completed = false;
+  world.run([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.compute(sim::SimTime{1'000'000});
+      send_value<std::int32_t>(comm, 7, 1);
+    } else {
+      Request r = comm.irecv(std::as_writable_bytes(std::span{&v, 1}), 0, 0);
+      for (int spin = 0; spin < 100'000 && !r.test(); ++spin) {
+      }
+      completed = r.test();
+    }
+  });
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(v, 7);
+}
+
+TEST(P2P, WaitFromForeignRankThrows) {
+  // A request is bound to the rank that created it. Waiting on it from a
+  // different rank would block the *owner's* rank state from the caller's
+  // fiber; before the fix this corrupted the scheduler and surfaced as a
+  // spurious DeadlockError. Now it is a diagnosed usage error.
+  World world(2);
+  std::vector<std::byte> buf(4);  // outlives the fibers
+  Request shared_req;
+  std::string error;
+  world.run([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      shared_req = comm.irecv(buf, 1, 9);
+    } else {
+      comm.compute(sim::SimTime{1'000});  // let rank 0 post first
+      try {
+        shared_req.wait();
+      } catch (const UsageError& e) {
+        error = e.what();
+      }
+    }
+  });
+  EXPECT_NE(error.find("owning rank"), std::string::npos) << "got: " << error;
+}
+
+TEST(P2P, WaitAllSkipsNullRequests) {
+  World world(2);
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+  world.run([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      send_value<std::int32_t>(comm, 1, 1, /*tag=*/4);
+      send_value<std::int32_t>(comm, 2, 1, /*tag=*/5);
+    } else {
+      std::vector<Request> reqs(4);  // null entries interleaved with live ones
+      reqs[1] = comm.irecv(std::as_writable_bytes(std::span{&a, 1}), 0, 4);
+      reqs[3] = comm.irecv(std::as_writable_bytes(std::span{&b, 1}), 0, 5);
+      Request::wait_all(reqs);
+      EXPECT_TRUE(reqs[1].ready());
+      EXPECT_TRUE(reqs[3].ready());
+    }
+  });
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+}
+
+TEST(P2P, WaitAllReportsWhichRequestBlocks) {
+  // A deadlocked wait_all must name the stuck operation, not report a
+  // generic wait(recv) — that is the difference between a fixable
+  // diagnostic and a guessing game at 16 ranks.
+  World world(2);
+  std::int32_t v = 0;
+  try {
+    world.run([&](Communicator& comm) {
+      if (comm.rank() != 0) {
+        return;
+      }
+      std::vector<Request> reqs(2);
+      reqs[1] = comm.irecv(std::as_writable_bytes(std::span{&v, 1}), 1, 3);
+      Request::wait_all(reqs);
+    });
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("wait_all"), std::string::npos) << "got: " << msg;
+    EXPECT_NE(msg.find("recv(src=1, tag=3)"), std::string::npos) << "got: " << msg;
+  }
+}
+
 // ------------------------------------------------------------- tracing --
 
 TEST(P2PTrace, LogicalRecordsPostOrderPhysicalRecordsArrival) {
