@@ -20,8 +20,17 @@
 // streamed-ingest + CSV round-trip gates are run on the input. Exit 2 on
 // any mismatch.
 //
+// `--emit-metrics <file>` writes a final metrics snapshot as JSON and
+// `--emit-trace-events <file>` records Chrome trace-event JSON. In
+// simulated mode both cover the first case's (bt.16) reference adaptive
+// world — its repeats run telemetry-free, so the byte-identical-report
+// gate doubles as the telemetry on/off check. In `--trace` mode the
+// instrumented adaptive replay (decision instants on an event-ordinal
+// clock) must reproduce the un-instrumented sweep's summary byte for byte.
+//
 //   $ ./bench_adaptive [--predictor <name>] [--shards <n>] [--trace <file>]
 //       [--batch-events <n>] [--window <t0>:<t1>] [--remap-ranks <spec>]
+//       [--emit-metrics <file>] [--emit-trace-events <file>]
 
 #include <algorithm>
 #include <cmath>
@@ -51,11 +60,12 @@ struct AdaptiveRun {
 };
 
 AdaptiveRun run_adaptive(const std::string& app, int procs, const std::string& predictor,
-                         std::size_t shards) {
+                         std::size_t shards, telemetry::Telemetry* telem = nullptr) {
   mpi::WorldConfig cfg = apps::paper_world_config(/*seed=*/2003);
   cfg.adaptive.enabled = true;
   cfg.adaptive.service.engine.predictor = predictor;
   cfg.adaptive.service.engine.shards = shards;
+  cfg.telemetry = telem;
   mpi::World world(procs, cfg);
   AdaptiveRun run;
   run.outcome = apps::find_app(app).run(world, apps::AppConfig{});
@@ -102,7 +112,7 @@ bool serve_matches_engine(std::span<const engine::Event> events,
 /// every arrival a hit) and the adaptive side replays the policy over the
 /// arrival stream — the identical decision code the live endpoint drives.
 int run_trace_mode(const std::string& path, const std::string& predictor, std::size_t shards,
-                   const bench::TraceFlags& flags) {
+                   const bench::TraceFlags& flags, const bench::TelemetryFlags& telem_flags) {
   const auto source = bench::open_trace_or_exit(path);
   // Physical (arrival order) when the format records it — the level the
   // live adaptive loop feeds on. The arrival sequence comes through the
@@ -146,6 +156,24 @@ int run_trace_mode(const std::string& path, const std::string& predictor, std::s
   const ingest::AdaptiveReplay& adaptive = swept.replay;
   if (!swept.deterministic) {
     std::printf("REPLAY MISMATCH at %s\n", swept.mismatch.c_str());
+  }
+
+  // Telemetry on/off gate + exports: the instrumented replay must
+  // reproduce the un-instrumented sweep's summary byte for byte.
+  telemetry::Telemetry telem;
+  bool telemetry_ok = true;
+  if (telem_flags.any()) {
+    if (!telem_flags.trace_path.empty()) {
+      telem.enable_tracing();
+    }
+    const ingest::AdaptiveReplay instrumented = ingest::replay_adaptive(events, rt, &telem);
+    if (instrumented.summary() != swept.replay.summary()) {
+      std::fprintf(stderr, "telemetry gate FAILED: instrumented replay differs\n  ref : %s\n"
+                           "  got : %s\n",
+                   swept.replay.summary().c_str(), instrumented.summary().c_str());
+      telemetry_ok = false;
+    }
+    bench::write_telemetry_or_exit(telem_flags, telem);
   }
 
   // Prediction-free yardstick at the adaptive policy's own mean budget,
@@ -206,7 +234,7 @@ int run_trace_mode(const std::string& path, const std::string& predictor, std::s
     std::printf("  gates: ok (session == engine wrapper; streamed == materialized across "
                 "shards and batch sizes; write_csv round trip byte-identical)\n");
   }
-  return swept.deterministic && gate_ok ? 0 : 2;
+  return swept.deterministic && gate_ok && telemetry_ok ? 0 : 2;
 }
 
 }  // namespace
@@ -215,12 +243,13 @@ int main(int argc, char** argv) {
   auto arg = engine::predictor_arg_or_exit(argc, argv);
   const std::size_t shards = bench::shards_flag(arg.rest, /*fallback=*/1);
   const bench::TraceFlags trace_flags = bench::trace_flags_or_exit(arg.rest);
+  const bench::TelemetryFlags telem_flags = bench::telemetry_flags(arg.rest);
   if (!trace_flags.path.empty()) {
     if (!arg.rest.empty()) {
       std::fprintf(stderr, "unexpected argument '%s'\n", arg.rest.front().c_str());
       return 1;
     }
-    return run_trace_mode(trace_flags.path, arg.name, shards, trace_flags);
+    return run_trace_mode(trace_flags.path, arg.name, shards, trace_flags, telem_flags);
   }
   if (!arg.rest.empty()) {
     std::fprintf(stderr, "unexpected argument '%s'\n", arg.rest.front().c_str());
@@ -245,6 +274,14 @@ int main(int argc, char** argv) {
     int procs;
   };
   bool deterministic = true;
+  // With `--emit-*`, the first case's reference world carries the
+  // telemetry; its repeats (and every later case) run telemetry-free, so
+  // the byte-identical-report gate below is also the on/off check.
+  telemetry::Telemetry telem;
+  if (!telem_flags.trace_path.empty()) {
+    telem.enable_tracing();
+  }
+  telemetry::Telemetry* pending_telem = telem_flags.any() ? &telem : nullptr;
   for (const auto& [app, procs] : {Case{"bt", 16}, Case{"cg", 16}, Case{"lu", 16}}) {
     const std::string label = std::string(app) + "." + std::to_string(procs);
 
@@ -253,7 +290,8 @@ int main(int argc, char** argv) {
     const auto static_counters = baseline.world->aggregate_counters();
 
     // Adaptive runtime, once per sweep point; all reports must agree.
-    AdaptiveRun adaptive = run_adaptive(app, procs, arg.name, sweep.front());
+    AdaptiveRun adaptive = run_adaptive(app, procs, arg.name, sweep.front(), pending_telem);
+    pending_telem = nullptr;
     const std::string reference = format_report(adaptive);
     bool case_deterministic = true;
     for (std::size_t i = 1; i < sweep.size(); ++i) {
@@ -330,5 +368,16 @@ int main(int argc, char** argv) {
               " handshakes —\n"
               " something no size-blind LRU can do)\n",
               "nranks-1");
+  if (telem_flags.any()) {
+    bench::write_telemetry_or_exit(telem_flags, telem);
+    std::printf("telemetry (bt.16 reference world):");
+    if (!telem_flags.metrics_path.empty()) {
+      std::printf(" metrics -> %s", telem_flags.metrics_path.c_str());
+    }
+    if (!telem_flags.trace_path.empty()) {
+      std::printf(" trace events -> %s", telem_flags.trace_path.c_str());
+    }
+    std::printf("\n");
+  }
   return deterministic ? 0 : 2;
 }

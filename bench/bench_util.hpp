@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <optional>
 #include <string>
@@ -24,6 +25,7 @@
 #include "ingest/streaming.hpp"
 #include "ingest/transform.hpp"
 #include "mpi/world.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/stats.hpp"
 #include "trace/stream.hpp"
 
@@ -231,6 +233,58 @@ inline TraceFlags trace_flags_or_exit(std::vector<std::string>& rest) {
     std::exit(1);
   }
   return flags;
+}
+
+/// The shared telemetry-export flags of every CLI: `--emit-metrics
+/// <file>` writes the final metrics snapshot as JSON, `--emit-trace-events
+/// <file>` writes the simulated-time span stream as Chrome trace-event
+/// JSON (loadable in Perfetto / chrome://tracing).
+struct TelemetryFlags {
+  std::string metrics_path;
+  std::string trace_path;
+
+  [[nodiscard]] bool any() const noexcept {
+    return !metrics_path.empty() || !trace_path.empty();
+  }
+};
+
+/// Consumes `--emit-metrics <file>` and `--emit-trace-events <file>` from
+/// `rest` (exits 1 on a dangling or empty value, like every other flag).
+inline TelemetryFlags telemetry_flags(std::vector<std::string>& rest) {
+  TelemetryFlags flags;
+  flags.metrics_path = string_flag(rest, "--emit-metrics");
+  flags.trace_path = string_flag(rest, "--emit-trace-events");
+  return flags;
+}
+
+/// Writes `text` to `path`, exiting 1 when the file cannot be written — an
+/// export the user asked for must never vanish silently.
+inline void write_file_or_exit(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  out << text;
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+    std::exit(1);
+  }
+}
+
+/// Writes whichever telemetry exports were requested: the metrics snapshot
+/// to `--emit-metrics`, the trace-event stream to `--emit-trace-events`.
+inline void write_telemetry_or_exit(const TelemetryFlags& flags,
+                                    const telemetry::Telemetry& telemetry) {
+  if (!flags.metrics_path.empty()) {
+    write_file_or_exit(flags.metrics_path, telemetry.metrics().snapshot().to_json());
+  }
+  if (!flags.trace_path.empty()) {
+    std::ofstream out(flags.trace_path, std::ios::binary);
+    telemetry.trace_sink().write_json(out);
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", flags.trace_path.c_str());
+      std::exit(1);
+    }
+  }
 }
 
 inline void print_accuracy_grid_header(const char* what) {

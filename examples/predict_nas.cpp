@@ -16,10 +16,20 @@
 // counts {1,2,4}, and the streamed path must match the materialized one
 // across batch sizes {64,4096,unbounded} — and exit 2 on any mismatch.
 //
+// `--emit-metrics <file>` writes the run's final metrics snapshot as JSON
+// (both modes); `--emit-trace-events <file>` additionally records the
+// simulated run as Chrome trace-event JSON — one track per rank, spans in
+// simulated nanoseconds, loadable in Perfetto (simulated mode only: a
+// replayed file has no simulated clock). Either flag arms a telemetry gate
+// that re-runs the identically seeded world with no telemetry attached and
+// exits 2 unless the outcome, final simulated time, and every endpoint
+// counter are identical — telemetry observes, it never steers.
+//
 //   $ ./examples/predict_nas [app] [procs] [--predictor <name>] [--shards <n>]
 //                            [--export-trace <path>] [--trace <file>]
 //                            [--batch-events <n>] [--window <t0>:<t1>]
-//                            [--remap-ranks <spec>]
+//                            [--remap-ranks <spec>] [--emit-metrics <file>]
+//                            [--emit-trace-events <file>]
 //     (default: cg 8 --predictor dpd --shards 0 = one per hardware thread)
 
 #include <cstdio>
@@ -94,11 +104,20 @@ int busiest_destination(const engine::EngineReport& report) {
 }
 
 int replay_trace(const std::string& path, const engine::EngineConfig& cfg,
-                 const bench::TraceFlags& flags) {
+                 const bench::TraceFlags& flags, const bench::TelemetryFlags& telem_flags) {
   const auto source = bench::open_trace_or_exit(path);
   std::printf("replaying %s (format %s, %d ranks), predictor %s...\n", path.c_str(),
               std::string(source->format()).c_str(), source->nranks(), cfg.predictor.c_str());
   const trace::TraceStore* store = source->store();
+
+  // The server's sessions report into this registry when `--emit-metrics`
+  // is given; the wrapper/gate engines below stay metrics-free, so the
+  // wrapper-vs-session comparison doubles as the telemetry on/off gate.
+  telemetry::Telemetry telem;
+  engine::EngineConfig server_cfg = cfg;
+  if (telem_flags.any()) {
+    server_cfg.metrics = &telem.metrics();
+  }
 
   // The streamed default path through the resident service: one
   // PredictionServer, one isolated session per level, each fed by the
@@ -112,7 +131,7 @@ int replay_trace(const std::string& path, const engine::EngineConfig& cfg,
     std::string remap_summary;
     int nranks = 0;
   };
-  serve::PredictionServer server({.engine = cfg});
+  serve::PredictionServer server({.engine = server_cfg});
   std::vector<LevelRun> runs;
   try {
     for (const trace::Level level : source->levels()) {
@@ -185,6 +204,12 @@ int replay_trace(const std::string& path, const engine::EngineConfig& cfg,
     std::printf("\nround-trip gate: ok (byte-identical engine reports across shards {1,2,4} "
                 "and batch sizes {64,4096,unbounded})\n");
   }
+  if (telem_flags.any()) {
+    bench::write_telemetry_or_exit(telem_flags, telem);
+    std::printf("\ntelemetry: metrics snapshot -> %s (session reports matched the metrics-free "
+                "engine wrapper's byte for byte)\n",
+                telem_flags.metrics_path.c_str());
+  }
   return 0;
 }
 
@@ -196,6 +221,7 @@ int main(int argc, char** argv) {
   const std::size_t shards = bench::shards_flag(predictor_arg.rest);
   const bench::TraceFlags trace_flags = bench::trace_flags_or_exit(predictor_arg.rest);
   const std::string export_path = bench::string_flag(predictor_arg.rest, "--export-trace");
+  const bench::TelemetryFlags telem_flags = bench::telemetry_flags(predictor_arg.rest);
   const engine::EngineConfig cfg{.predictor = predictor, .shards = shards};
 
   if (!trace_flags.path.empty()) {
@@ -209,7 +235,12 @@ int main(int argc, char** argv) {
                            "--trace\n");
       return 1;
     }
-    return replay_trace(trace_flags.path, cfg, trace_flags);
+    if (!telem_flags.trace_path.empty()) {
+      std::fprintf(stderr, "--emit-trace-events requires a simulated run (a replayed file has "
+                           "no simulated clock); it does not combine with --trace\n");
+      return 1;
+    }
+    return replay_trace(trace_flags.path, cfg, trace_flags, telem_flags);
   }
 
   std::string app = "cg";
@@ -233,7 +264,15 @@ int main(int argc, char** argv) {
 
   std::printf("running %s with %d simulated processes (Class A), predictor %s...\n", app.c_str(),
               procs, predictor.c_str());
-  mpi::World world(procs, apps::paper_world_config(/*seed=*/42));
+  telemetry::Telemetry telem;
+  if (!telem_flags.trace_path.empty()) {
+    telem.enable_tracing();  // before the world: endpoints cache the tracer
+  }
+  mpi::WorldConfig world_cfg = apps::paper_world_config(/*seed=*/42);
+  if (telem_flags.any()) {
+    world_cfg.telemetry = &telem;
+  }
+  mpi::World world(procs, world_cfg);
   const auto outcome = info.run(world, apps::AppConfig{.problem_class = apps::ProblemClass::A});
   std::printf("  verified: %s, metric: %g\n", outcome.verified ? "yes" : "NO", outcome.metric);
 
@@ -268,6 +307,33 @@ int main(int argc, char** argv) {
       return 2;
     }
     std::printf("\nexported trace to %s (round-trip gate: ok)\n", export_path.c_str());
+  }
+
+  if (telem_flags.any()) {
+    // Telemetry on/off gate: an identically seeded world with no telemetry
+    // attached (no tracing, private registry) must produce the very same
+    // run — outcome, final simulated time, every endpoint counter.
+    // Telemetry observes; it never steers.
+    mpi::World plain(procs, apps::paper_world_config(/*seed=*/42));
+    const auto plain_outcome =
+        info.run(plain, apps::AppConfig{.problem_class = apps::ProblemClass::A});
+    const bool identical =
+        plain_outcome.verified == outcome.verified && plain_outcome.metric == outcome.metric &&
+        plain_outcome.combined_checksum() == outcome.combined_checksum() &&
+        plain.engine().stats().final_time == world.engine().stats().final_time &&
+        plain.aggregate_counters() == world.aggregate_counters();
+    if (!identical) {
+      std::fprintf(stderr, "telemetry gate FAILED: the run changed with telemetry attached\n");
+      return 2;
+    }
+    bench::write_telemetry_or_exit(telem_flags, telem);
+    std::printf("\ntelemetry gate: ok (identical run without telemetry)\n");
+    if (!telem_flags.metrics_path.empty()) {
+      std::printf("telemetry: metrics snapshot -> %s\n", telem_flags.metrics_path.c_str());
+    }
+    if (!telem_flags.trace_path.empty()) {
+      std::printf("telemetry: trace events -> %s\n", telem_flags.trace_path.c_str());
+    }
   }
   return 0;
 }

@@ -13,8 +13,17 @@
 // batch sizes {64,4096,unbounded}, and a write_csv round trip; exits 2 on
 // any mismatch.
 //
+// `--emit-metrics <file>` writes the final metrics snapshot (serve.*,
+// engine.feed.* per tenant, adaptive.policy.*) as JSON;
+// `--emit-trace-events <file>` records the adaptive replay's per-event
+// decisions as Chrome trace-event instants stamped with event ordinals (an
+// ingested file has no simulated clock). Either flag arms a telemetry gate:
+// the instrumented adaptive replay must reproduce the un-instrumented
+// sweep's summary byte for byte, or the tool exits 2.
+//
 //   $ ./examples/replay_trace --trace <file> [--predictor <name>] [--shards <n>]
 //       [--batch-events <n>] [--window <t0>:<t1>] [--remap-ranks <spec>]
+//       [--emit-metrics <file>] [--emit-trace-events <file>]
 
 #include <cstdio>
 #include <memory>
@@ -68,6 +77,7 @@ int main(int argc, char** argv) {
   auto arg = engine::predictor_arg_or_exit(argc, argv);
   const std::size_t shards = bench::shards_flag(arg.rest);
   const bench::TraceFlags flags = bench::trace_flags_or_exit(arg.rest);
+  const bench::TelemetryFlags telem_flags = bench::telemetry_flags(arg.rest);
   if (!arg.rest.empty()) {
     std::fprintf(stderr, "unexpected argument '%s'\n", arg.rest.front().c_str());
     return 1;
@@ -76,12 +86,25 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: replay_trace --trace <file> [--predictor <name>] [--shards <n>]\n"
                  "                    [--batch-events <n>] [--window <t0>:<t1>]\n"
-                 "                    [--remap-ranks <spec>]\n");
+                 "                    [--remap-ranks <spec>] [--emit-metrics <file>]\n"
+                 "                    [--emit-trace-events <file>]\n");
     return 1;
   }
 
   const auto source = bench::open_trace_or_exit(flags.path);
   const engine::EngineConfig cfg{.predictor = arg.name, .shards = shards};
+
+  // Registry + (ordinal-clocked) trace sink behind the `--emit-*` flags.
+  // The serve sessions report into the registry; the wrapper/gate engines
+  // stay metrics-free, so every gate doubles as an on/off check.
+  telemetry::Telemetry telem;
+  if (!telem_flags.trace_path.empty()) {
+    telem.enable_tracing();
+  }
+  engine::EngineConfig server_cfg = cfg;
+  if (telem_flags.any()) {
+    server_cfg.metrics = &telem.metrics();
+  }
   std::printf("%s: format %s, %d ranks, predictor %s, batch %zu events\n", flags.path.c_str(),
               std::string(source->format()).c_str(), source->nranks(), arg.name.c_str(),
               flags.batch_events);
@@ -92,7 +115,7 @@ int main(int argc, char** argv) {
   // batch N+1 overlapped with the drain of batch N). The last level's
   // transformed arrivals double as the adaptive replay's input below
   // (physical, when the format records it).
-  serve::PredictionServer server({.engine = cfg});
+  serve::PredictionServer server({.engine = server_cfg});
   std::vector<engine::Event> arrivals;
   try {
     std::vector<ingest::TimedEvent> last_level_events;
@@ -151,6 +174,18 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "adaptive replay differs at %s\n", swept.mismatch.c_str());
     return 2;
   }
+  if (telem_flags.any()) {
+    // Telemetry on/off gate: the instrumented replay (metrics registry
+    // wired in, decision instants recorded) must reproduce the
+    // un-instrumented sweep's summary byte for byte.
+    const ingest::AdaptiveReplay instrumented = ingest::replay_adaptive(arrivals, rt, &telem);
+    if (instrumented.summary() != swept.replay.summary()) {
+      std::fprintf(stderr, "telemetry gate FAILED: instrumented replay differs\n  ref : %s\n"
+                           "  got : %s\n",
+                   swept.replay.summary().c_str(), instrumented.summary().c_str());
+      return 2;
+    }
+  }
   const auto streamed =
       ingest::verify_streamed_source(flags.path, *source, flags.transforms, cfg, sweep);
   if (!streamed.ok) {
@@ -167,5 +202,16 @@ int main(int argc, char** argv) {
   std::printf("gates: session == engine wrapper per level; adaptive replay and engine reports "
               "byte-identical across shards {1,2,4}, batch sizes {64,4096,unbounded}, and a "
               "write_csv round trip\n");
+  if (telem_flags.any()) {
+    bench::write_telemetry_or_exit(telem_flags, telem);
+    std::printf("telemetry gate: ok (instrumented replay identical)");
+    if (!telem_flags.metrics_path.empty()) {
+      std::printf("; metrics -> %s", telem_flags.metrics_path.c_str());
+    }
+    if (!telem_flags.trace_path.empty()) {
+      std::printf("; trace events -> %s", telem_flags.trace_path.c_str());
+    }
+    std::printf("\n");
+  }
   return 0;
 }

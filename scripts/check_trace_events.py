@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Validator for the telemetry layer's JSON exports.
+
+Default mode checks a Chrome trace-event export (the `--emit-trace-events`
+output of predict_nas / replay_trace / bench_adaptive) against the subset
+of the trace-event format the sink emits, so a malformed export fails CI
+before anyone tries to load it in Perfetto:
+
+- top level is an object with a `traceEvents` list,
+- every event has a string `ph` in {M, X, i, C} plus integer `pid`/`tid`,
+- non-metadata events carry a numeric, non-negative `ts`,
+- X (complete) events carry a numeric, non-negative `dur`,
+- i (instant) events carry a scope `s`,
+- C (counter) events carry a numeric `args.value`,
+- M (metadata) events are `process_name` rows with an `args.name` string,
+- `args`, when present, is an object.
+
+`--metrics` switches to the `--emit-metrics` schema instead: a `metrics`
+list of rows sorted by (name, labels), each with a kind in
+{counter, gauge, histogram} and integer values — counters/gauges a
+`value` (gauges also a `peak`), histograms `count`/`sum`/`bounds`/
+`buckets` with len(buckets) == len(bounds) + 1 and strictly increasing
+bounds.
+
+`--parse-only` just requires each file to parse as JSON (used on the
+committed BENCH_*.json artifacts).
+
+Usage: check_trace_events.py [--metrics | --parse-only] FILE [FILE...]
+Exits 1 listing every violation as `file: message`.
+"""
+
+import argparse
+import json
+import sys
+
+VALID_PH = {"M", "X", "i", "C"}
+VALID_KINDS = {"counter", "gauge", "histogram"}
+
+
+def check_event(i: int, ev: object, errors: list[str]) -> None:
+    def err(msg: str) -> None:
+        errors.append(f"traceEvents[{i}]: {msg}")
+
+    if not isinstance(ev, dict):
+        err("event is not an object")
+        return
+    ph = ev.get("ph")
+    if ph not in VALID_PH:
+        err(f"bad or missing ph {ph!r}")
+        return
+    for key in ("pid", "tid"):
+        if not isinstance(ev.get(key), int):
+            err(f"missing integer {key!r}")
+    if not isinstance(ev.get("name"), str) or not ev["name"]:
+        err("missing non-empty name")
+    args = ev.get("args")
+    if args is not None and not isinstance(args, dict):
+        err("args is not an object")
+        args = None
+    if ph == "M":
+        if ev.get("name") != "process_name":
+            err(f"unexpected metadata row {ev.get('name')!r}")
+        elif not isinstance((args or {}).get("name"), str):
+            err("process_name row without an args.name string")
+        return
+    ts = ev.get("ts")
+    if not isinstance(ts, (int, float)) or ts < 0:
+        err(f"bad or missing ts {ts!r}")
+    if ph == "X":
+        dur = ev.get("dur")
+        if not isinstance(dur, (int, float)) or dur < 0:
+            err(f"complete event with bad dur {dur!r}")
+    if ph == "i" and ev.get("s") not in {"t", "p", "g"}:
+        err(f"instant event with bad scope {ev.get('s')!r}")
+    if ph == "C" and not isinstance((args or {}).get("value"), (int, float)):
+        err("counter event without a numeric args.value")
+
+
+def check_trace(doc: object, errors: list[str]) -> None:
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        errors.append("top level is not an object with a traceEvents list")
+        return
+    events = doc["traceEvents"]
+    if not events:
+        errors.append("traceEvents is empty")
+    for i, ev in enumerate(events):
+        check_event(i, ev, errors)
+
+
+def check_metrics(doc: object, errors: list[str]) -> None:
+    if not isinstance(doc, dict) or not isinstance(doc.get("metrics"), list):
+        errors.append("top level is not an object with a metrics list")
+        return
+    prev_key = None
+    for i, row in enumerate(doc["metrics"]):
+        def err(msg: str) -> None:
+            errors.append(f"metrics[{i}]: {msg}")
+
+        if not isinstance(row, dict):
+            err("row is not an object")
+            continue
+        name = row.get("name")
+        labels = row.get("labels", "")
+        if not isinstance(name, str) or not name:
+            err("missing non-empty name")
+            continue
+        if not isinstance(labels, str):
+            err("labels is not a string")
+            continue
+        key = (name, labels)
+        if prev_key is not None and key < prev_key:
+            err(f"rows not sorted by (name, labels): {key} after {prev_key}")
+        prev_key = key
+        kind = row.get("kind")
+        if kind not in VALID_KINDS:
+            err(f"bad kind {kind!r}")
+            continue
+        if kind != "histogram" and not isinstance(row.get("value"), int):
+            err("missing integer value")
+        if kind == "gauge" and not isinstance(row.get("peak"), int):
+            err("gauge row without an integer peak")
+        if kind == "histogram":
+            if not isinstance(row.get("count"), int):
+                err("histogram row without an integer count")
+            bounds = row.get("bounds")
+            buckets = row.get("buckets")
+            if not isinstance(bounds, list) or not isinstance(buckets, list):
+                err("histogram row without bounds/buckets lists")
+                continue
+            if len(buckets) != len(bounds) + 1:
+                err(f"{len(buckets)} buckets for {len(bounds)} bounds")
+            if any(not isinstance(b, int) for b in bounds + buckets):
+                err("non-integer bound or bucket")
+            elif any(b >= a for b, a in zip(bounds, bounds[1:])):
+                err("bounds not strictly increasing")
+            if not isinstance(row.get("sum"), int):
+                err("histogram row without an integer sum")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--metrics", action="store_true",
+                      help="validate --emit-metrics output instead of trace events")
+    mode.add_argument("--parse-only", action="store_true",
+                      help="only require the files to parse as JSON")
+    parser.add_argument("files", nargs="+", metavar="FILE")
+    args = parser.parse_args()
+
+    failed = False
+    for path in args.files:
+        errors: list[str] = []
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            errors.append(f"not valid JSON: {e}")
+            doc = None
+        if doc is not None and not args.parse_only:
+            (check_metrics if args.metrics else check_trace)(doc, errors)
+        if errors:
+            failed = True
+            for msg in errors[:50]:
+                print(f"{path}: {msg}")
+            if len(errors) > 50:
+                print(f"{path}: ... and {len(errors) - 50} more")
+        else:
+            print(f"{path}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

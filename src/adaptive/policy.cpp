@@ -92,6 +92,16 @@ Protocol AdaptivePolicy::choose_protocol(const engine::Event& event) {
   return Protocol::Rendezvous;
 }
 
+void AdaptivePolicy::export_metrics(telemetry::MetricsRegistry& metrics) const {
+  metrics.counter("adaptive.policy.messages").add(stats_.messages);
+  metrics.counter("adaptive.policy.prepost_hits").add(stats_.prepost_hits);
+  metrics.counter("adaptive.policy.prepost_misses").add(stats_.prepost_misses);
+  metrics.counter("adaptive.policy.eager_sends").add(stats_.eager_sends);
+  metrics.counter("adaptive.policy.rendezvous_sends").add(stats_.rendezvous_sends);
+  metrics.counter("adaptive.policy.rendezvous_elided").add(stats_.rendezvous_elided);
+  metrics.gauge("adaptive.policy.peak_buffers").observe_peak(stats_.peak_buffers);
+}
+
 std::vector<Credit> AdaptivePolicy::credit_plan(std::int32_t destination) const {
   std::vector<Credit> out;
   for (const std::int32_t source : service_.sources_of(destination)) {

@@ -91,6 +91,12 @@ class AdaptivePolicy {
   [[nodiscard]] std::vector<Credit> credit_plan(std::int32_t destination) const;
 
   [[nodiscard]] const PolicyStats& stats() const noexcept { return stats_; }
+
+  /// Copies the integer decision totals into `metrics` as
+  /// adaptive.policy.* counters (plus a peak-only buffers gauge). Called
+  /// once at end of run (World::run, replay drivers): counters add, so a
+  /// second call would double them.
+  void export_metrics(telemetry::MetricsRegistry& metrics) const;
   [[nodiscard]] PredictionService& service() noexcept { return service_; }
   [[nodiscard]] const PredictionService& service() const noexcept { return service_; }
   [[nodiscard]] const PolicyConfig& config() const noexcept { return cfg_; }

@@ -9,6 +9,9 @@ namespace {
 engine::EngineConfig view_config(const ServiceConfig& cfg, bool by_source) {
   engine::EngineConfig out = cfg.engine;
   out.key = {.by_source = by_source, .by_destination = true, .by_tag = cfg.by_tag};
+  // Both views share one registry (when the caller passed one); the view
+  // label keeps their engine.* instruments distinct.
+  out.metric_labels.set("view", by_source ? "stream" : "arrival");
   return out;
 }
 

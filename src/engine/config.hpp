@@ -11,6 +11,7 @@
 #include <string>
 
 #include "core/dpd.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace mpipred::engine {
 
@@ -107,6 +108,13 @@ struct EngineConfig {
   /// 1 = dispatch everything (bench_engine_latency uses this to measure
   /// pure dispatch cost). Never changes any report.
   std::size_t min_parallel_batch = 0;
+  /// Optional caller-owned registry the engine's feed/stream metrics land
+  /// in (engine.feed.*, engine.streams.resident — all shard-invariant, so
+  /// snapshots stay byte-identical across shard counts). nullptr = the
+  /// shard set keeps a private registry.
+  telemetry::MetricsRegistry* metrics = nullptr;
+  /// Labels attached to this engine's metrics (e.g. service view, tenant).
+  telemetry::LabelSet metric_labels{};
 };
 
 }  // namespace mpipred::engine

@@ -177,6 +177,18 @@ ShardSet::ShardSet(std::size_t shards, const core::Predictor& prototype, std::si
   for (std::size_t s = 0; s < shards; ++s) {
     shards_.emplace_back(prototype, horizon);
   }
+  telemetry::MetricsRegistry* metrics = options.metrics;
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<telemetry::MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  feed_events_ = &metrics->counter("engine.feed.events", options.metric_labels);
+  feed_batches_ = &metrics->counter("engine.feed.batches", options.metric_labels);
+  streams_resident_ = &metrics->gauge("engine.streams.resident", options.metric_labels);
+}
+
+void ShardSet::update_resident_gauge() noexcept {
+  streams_resident_->set(static_cast<std::int64_t>(stream_count()));
 }
 
 std::size_t ShardSet::shard_index(std::uint64_t hash) const noexcept {
@@ -199,14 +211,21 @@ void ShardSet::observe_tick(const Event& event, std::uint64_t tick) {
   shards_[shard_index(hash)].observe(event, key, hash, tick);
 }
 
-void ShardSet::observe_one(const Event& event) { observe_tick(event, next_tick()); }
+void ShardSet::observe_one(const Event& event) {
+  observe_tick(event, next_tick());
+  feed_events_->inc();
+  update_resident_gauge();
+}
 
 void ShardSet::feed(std::span<const Event> events) {
   const std::uint64_t tick = next_tick();
+  feed_batches_->inc();
+  feed_events_->add(static_cast<std::int64_t>(events.size()));
   if (shards_.size() == 1 || events.size() < min_parallel_) {
     for (const Event& event : events) {
       observe_tick(event, tick);
     }
+    update_resident_gauge();
     return;
   }
   partition(events);
@@ -215,6 +234,7 @@ void ShardSet::feed(std::span<const Event> events) {
   } else {
     feed_persistent(tick);
   }
+  update_resident_gauge();
 }
 
 void ShardSet::partition(std::span<const Event> events) {
@@ -294,6 +314,7 @@ std::optional<std::size_t> ShardSet::erase(const StreamKey& key) {
   const std::size_t bytes =
       state->sender_predictor->footprint_bytes() + state->size_predictor->footprint_bytes();
   shard.table().erase(key, hash);
+  update_resident_gauge();
   return bytes;
 }
 

@@ -149,6 +149,14 @@ struct ShardSetOptions {
   WorkerPool* pool = nullptr;
   /// Shared feed clock for StreamState::last_touch; nullptr = own one.
   std::atomic<std::uint64_t>* clock = nullptr;
+  /// Registry for the set's feed/stream metrics; nullptr = own a private
+  /// one. Only shard-invariant quantities are exported (event and batch
+  /// totals, resident stream count), never anything per-shard, so a
+  /// caller-shared registry snapshots byte-identically across shard
+  /// counts — the same invariant the reports already hold.
+  telemetry::MetricsRegistry* metrics = nullptr;
+  /// Labels on the set's metrics (e.g. {view=arrival} or {tenant=7}).
+  telemetry::LabelSet metric_labels{};
 };
 
 /// Fixed set of shards hash-partitioning the stream space. feed() is the
@@ -201,6 +209,7 @@ class ShardSet {
   void partition(std::span<const Event> events);
   void feed_persistent(std::uint64_t tick);
   void feed_spawn(std::uint64_t tick);
+  void update_resident_gauge() noexcept;
 
   KeyPolicy policy_;
   std::vector<EngineShard> shards_;
@@ -211,6 +220,10 @@ class ShardSet {
   std::atomic<std::uint64_t>* clock_;
   std::atomic<std::uint64_t> own_clock_{0};
   std::vector<std::size_t> pending_;  // reused worker-slot scratch
+  std::unique_ptr<telemetry::MetricsRegistry> owned_metrics_;  // when none was passed
+  telemetry::Counter* feed_events_ = nullptr;
+  telemetry::Counter* feed_batches_ = nullptr;
+  telemetry::Gauge* streams_resident_ = nullptr;
 };
 
 /// The canonical report over a shard set: per-stream rows in key order

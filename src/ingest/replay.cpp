@@ -20,13 +20,31 @@ std::string AdaptiveReplay::summary() const {
 }
 
 AdaptiveReplay replay_adaptive(std::span<const engine::Event> events,
-                               const adaptive::RuntimeConfig& cfg) {
-  adaptive::AdaptivePolicy policy(cfg.service, cfg.policy);
+                               const adaptive::RuntimeConfig& cfg,
+                               telemetry::Telemetry* telemetry) {
+  adaptive::ServiceConfig service_cfg = cfg.service;
+  if (telemetry != nullptr) {
+    service_cfg.engine.metrics = &telemetry->metrics();
+  }
+  adaptive::AdaptivePolicy policy(std::move(service_cfg), cfg.policy);
+  telemetry::TraceEventSink* tracer = telemetry != nullptr ? telemetry->tracer() : nullptr;
+  std::int64_t ordinal = 0;
   for (const engine::Event& event : events) {
     // The sender's protocol decision at post time, then the receiver's
     // arrival path — the order the live endpoint drives the policy in.
     (void)policy.choose_protocol(event);
-    (void)policy.on_arrival(event);
+    const bool hit = policy.on_arrival(event);
+    if (tracer != nullptr) {
+      // An ingested stream has no clock; event ordinals stand in for it.
+      tracer->instant_at(event.destination, hit ? "prepost-hit" : "prepost-miss", "replay",
+                         ordinal,
+                         "\"sender\":" + std::to_string(event.source) +
+                             ",\"bytes\":" + std::to_string(event.bytes));
+    }
+    ++ordinal;
+  }
+  if (telemetry != nullptr) {
+    policy.export_metrics(telemetry->metrics());
   }
   return {.stats = policy.stats()};
 }

@@ -13,6 +13,7 @@
 #include "adaptive/config.hpp"
 #include "adaptive/policy.hpp"
 #include "engine/config.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace mpipred::ingest {
 
@@ -31,8 +32,16 @@ struct AdaptiveReplay {
 /// elided) and against the receiver's pre-post plan, then learned from.
 /// Pure per-stream predictor state, so the result is identical for any
 /// `cfg.service.engine.shards` value.
+///
+/// `telemetry`, when given, receives the run's metrics (engine.feed.*,
+/// adaptive.policy.*) and — if tracing is enabled there — one decision
+/// instant per event on the destination's track, stamped with the event
+/// ordinal (an ingested stream has no simulated clock). Telemetry never
+/// feeds back into a decision: stats are byte-identical with or without
+/// it, which telemetry_test and the CLI `--emit-*` gates pin.
 [[nodiscard]] AdaptiveReplay replay_adaptive(std::span<const engine::Event> events,
-                                             const adaptive::RuntimeConfig& cfg = {});
+                                             const adaptive::RuntimeConfig& cfg = {},
+                                             telemetry::Telemetry* telemetry = nullptr);
 
 /// replay_adaptive at every shard count in `shard_counts` plus the
 /// byte-identical-summary gate — the one implementation every `--trace`

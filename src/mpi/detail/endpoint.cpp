@@ -1,7 +1,9 @@
 #include "mpi/detail/endpoint.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
+#include <numeric>
 #include <sstream>
 
 #include "adaptive/policy.hpp"
@@ -11,10 +13,100 @@
 
 namespace mpipred::mpi::detail {
 
+namespace {
+
+[[nodiscard]] telemetry::LabelSet rank_labels(int rank) {
+  telemetry::LabelSet labels;
+  labels.set("rank", std::to_string(rank));
+  return labels;
+}
+
+[[nodiscard]] std::string fixed3(double x) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", x);
+  return buf;
+}
+
+}  // namespace
+
+std::span<const EndpointCounters::Field> EndpointCounters::fields() noexcept {
+  static constexpr Field kFields[] = {
+      {"eager_received", &EndpointCounters::eager_received},
+      {"rendezvous_received", &EndpointCounters::rendezvous_received},
+      {"unexpected_arrivals", &EndpointCounters::unexpected_arrivals},
+      {"unexpected_bytes_now", &EndpointCounters::unexpected_bytes_now},
+      {"unexpected_bytes_peak", &EndpointCounters::unexpected_bytes_peak},
+      {"sends_posted", &EndpointCounters::sends_posted},
+      {"recvs_posted", &EndpointCounters::recvs_posted},
+      {"eager_credit_stalls", &EndpointCounters::eager_credit_stalls},
+      {"prepost_hits", &EndpointCounters::prepost_hits},
+      {"prepost_misses", &EndpointCounters::prepost_misses},
+      {"preposted_bytes_now", &EndpointCounters::preposted_bytes_now},
+      {"preposted_bytes_peak", &EndpointCounters::preposted_bytes_peak},
+      {"rendezvous_elided", &EndpointCounters::rendezvous_elided},
+      {"adaptive_feed_ns", &EndpointCounters::adaptive_feed_ns},
+      {"adaptive_feed_lag_peak_ns", &EndpointCounters::adaptive_feed_lag_peak_ns},
+  };
+  return kFields;
+}
+
 Endpoint::Endpoint(World& world, int rank)
-    : world_(&world), rank_(rank), progress_([this](ProgressTask& t) { dispatch(t); }) {
+    : world_(&world),
+      rank_(rank),
+      tracer_(world.telemetry().tracer()),
+      progress_([this](ProgressTask& t) { dispatch(t); }, &world.telemetry().metrics(),
+                rank_labels(rank)) {
   credit_used_.assign(static_cast<std::size_t>(world.nranks()), 0);
   send_queue_.resize(static_cast<std::size_t>(world.nranks()));
+
+  telemetry::MetricsRegistry& metrics = world.telemetry().metrics();
+  const telemetry::LabelSet labels = rank_labels(rank);
+  inst_.eager_received = &metrics.counter("mpi.endpoint.eager_received", labels);
+  inst_.rendezvous_received = &metrics.counter("mpi.endpoint.rendezvous_received", labels);
+  inst_.unexpected_arrivals = &metrics.counter("mpi.endpoint.unexpected_arrivals", labels);
+  inst_.unexpected_bytes = &metrics.gauge("mpi.endpoint.unexpected_bytes", labels);
+  inst_.sends_posted = &metrics.counter("mpi.endpoint.sends_posted", labels);
+  inst_.recvs_posted = &metrics.counter("mpi.endpoint.recvs_posted", labels);
+  inst_.eager_credit_stalls = &metrics.counter("mpi.endpoint.eager_credit_stalls", labels);
+  inst_.prepost_hits = &metrics.counter("mpi.endpoint.prepost_hits", labels);
+  inst_.prepost_misses = &metrics.counter("mpi.endpoint.prepost_misses", labels);
+  inst_.preposted_bytes = &metrics.gauge("mpi.endpoint.preposted_bytes", labels);
+  inst_.rendezvous_elided = &metrics.counter("mpi.endpoint.rendezvous_elided", labels);
+  inst_.adaptive_feed_ns = &metrics.counter("mpi.endpoint.adaptive_feed_ns", labels);
+  inst_.adaptive_feed_lag = &metrics.gauge("mpi.endpoint.adaptive_feed_lag_ns", labels);
+  inst_.message_bytes = &metrics.histogram(
+      "mpi.endpoint.message_bytes", {64, 256, 1024, 4096, 16384, 65536, 262144, 1048576}, labels);
+  inst_.feed_lag_ns = &metrics.histogram("mpi.adaptive.feed_lag_ns",
+                                         {100, 1000, 10000, 100000, 1000000}, labels);
+  progress_.set_tracer(tracer_, rank_);
+}
+
+EndpointCounters Endpoint::counters() const {
+  EndpointCounters c;
+  c.eager_received = inst_.eager_received->value();
+  c.rendezvous_received = inst_.rendezvous_received->value();
+  c.unexpected_arrivals = inst_.unexpected_arrivals->value();
+  c.unexpected_bytes_now = inst_.unexpected_bytes->value();
+  c.unexpected_bytes_peak = inst_.unexpected_bytes->peak();
+  c.sends_posted = inst_.sends_posted->value();
+  c.recvs_posted = inst_.recvs_posted->value();
+  c.eager_credit_stalls = inst_.eager_credit_stalls->value();
+  c.prepost_hits = inst_.prepost_hits->value();
+  c.prepost_misses = inst_.prepost_misses->value();
+  c.preposted_bytes_now = inst_.preposted_bytes->value();
+  c.preposted_bytes_peak = inst_.preposted_bytes->peak();
+  c.rendezvous_elided = inst_.rendezvous_elided->value();
+  c.adaptive_feed_ns = inst_.adaptive_feed_ns->value();
+  c.adaptive_feed_lag_peak_ns = inst_.adaptive_feed_lag->peak();
+  return c;
+}
+
+void Endpoint::trace_buffer_pools() {
+  if (tracer_ == nullptr) {
+    return;
+  }
+  tracer_->counter(rank_, "preposted_bytes", inst_.preposted_bytes->value());
+  tracer_->counter(rank_, "unexpected_bytes", inst_.unexpected_bytes->value());
 }
 
 void Endpoint::wake_owner() { world_->engine().rank(rank_).unblock(); }
@@ -139,6 +231,17 @@ bool Endpoint::note_adaptive_arrival(int sender, std::int64_t bytes, trace::OpKi
   if (policy == nullptr) {
     return false;
   }
+  // Decision-instant args are gathered *before* the feed below mutates
+  // predictor state: they capture the prediction this arrival was scored
+  // against. Pure const reads — tracing never changes a decision.
+  std::string args;
+  if (tracer_ != nullptr) {
+    args = "\"sender\":" + std::to_string(sender) + ",\"bytes\":" + std::to_string(bytes);
+    if (const auto p = policy->service().predict_next(rank_)) {
+      args += ",\"predicted_sender\":" + std::to_string(p->sender) +
+              ",\"confidence\":" + fixed3(p->confidence);
+    }
+  }
   // Same event shape as engine::events_from_trace, so the closed loop
   // learns exactly the stream an offline engine replay would see.
   const bool hit = policy->on_arrival({.source = static_cast<std::int32_t>(sender),
@@ -146,9 +249,12 @@ bool Endpoint::note_adaptive_arrival(int sender, std::int64_t bytes, trace::OpKi
                                        .tag = static_cast<std::int32_t>(kind),
                                        .bytes = bytes});
   if (hit) {
-    ++counters_.prepost_hits;
+    inst_.prepost_hits->inc();
   } else {
-    ++counters_.prepost_misses;
+    inst_.prepost_misses->inc();
+  }
+  if (tracer_ != nullptr) {
+    tracer_->instant(rank_, hit ? "prepost-hit" : "prepost-miss", "adaptive", std::move(args));
   }
   // Charge the feed's simulated cost. Decisions above are unaffected — the
   // cost models the latency of the predict → pre-post → reconcile step,
@@ -160,9 +266,10 @@ bool Endpoint::note_adaptive_arrival(int sender, std::int64_t bytes, trace::OpKi
     const sim::SimTime now = world_->engine().now();
     const sim::SimTime start = std::max(now, feed_busy_until_);
     feed_busy_until_ = start + sim::from_ns(cost_ns);
-    counters_.adaptive_feed_ns += cost_ns;
-    counters_.adaptive_feed_lag_peak_ns =
-        std::max(counters_.adaptive_feed_lag_peak_ns, (feed_busy_until_ - now).count());
+    inst_.adaptive_feed_ns->add(cost_ns);
+    const std::int64_t lag = (feed_busy_until_ - now).count();
+    inst_.adaptive_feed_lag->observe_peak(lag);
+    inst_.feed_lag_ns->observe(lag);
   }
   return hit && world_->config().adaptive.prepost_buffers;
 }
@@ -171,7 +278,7 @@ std::shared_ptr<SendState> Endpoint::post_send(std::span<const std::byte> data, 
                                                std::uint32_t comm_id, trace::OpKind kind,
                                                trace::Op op) {
   MPIPRED_REQUIRE(dst >= 0 && dst < world_->nranks(), "send destination out of range");
-  ++counters_.sends_posted;
+  inst_.sends_posted->inc();
 
   auto send = std::make_shared<SendState>();
   send->src = rank_;
@@ -196,9 +303,17 @@ std::shared_ptr<SendState> Endpoint::post_send(std::span<const std::byte> data, 
       if (policy->choose_protocol(event) == adaptive::Protocol::ElidedRendezvous) {
         send->rendezvous = false;
         send->elided = true;
-        ++counters_.rendezvous_elided;
+        inst_.rendezvous_elided->inc();
       }
     }
+  }
+
+  if (tracer_ != nullptr) {
+    const char* protocol = send->elided ? "elided" : (send->rendezvous ? "rendezvous" : "eager");
+    tracer_->instant(rank_, "send", "mpi",
+                     "\"dst\":" + std::to_string(dst) + ",\"tag\":" + std::to_string(tag) +
+                         ",\"bytes\":" + std::to_string(send->bytes) + ",\"protocol\":\"" +
+                         protocol + "\"");
   }
 
   sim::Engine& eng = world_->engine();
@@ -218,7 +333,7 @@ std::shared_ptr<SendState> Endpoint::post_send(std::span<const std::byte> data, 
     if (fits && send_queue_[d].empty()) {
       launch_eager(send);
     } else {
-      ++counters_.eager_credit_stalls;
+      inst_.eager_credit_stalls->inc();
       send_queue_[d].push_back(send);
     }
     return send;
@@ -248,6 +363,10 @@ void Endpoint::launch_eager(const std::shared_ptr<SendState>& send) {
   const std::int64_t header = world_->config().header_bytes;
   if (world_->config().per_pair_credit_bytes > 0 && !send->elided) {
     credit_used_[static_cast<std::size_t>(send->dst)] += send->bytes;
+    if (tracer_ != nullptr) {
+      tracer_->counter(rank_, "credit_used_bytes",
+                       std::accumulate(credit_used_.begin(), credit_used_.end(), std::int64_t{0}));
+    }
   }
   const auto timing =
       eng.network().plan_transfer(rank_, send->dst, send->bytes + header, eng.now());
@@ -307,6 +426,10 @@ void Endpoint::handle_credit(int peer, std::int64_t bytes) {
   }
   auto& used = credit_used_[static_cast<std::size_t>(peer)];
   used -= std::min(used, bytes);
+  if (tracer_ != nullptr) {
+    tracer_->counter(rank_, "credit_used_bytes",
+                     std::accumulate(credit_used_.begin(), credit_used_.end(), std::int64_t{0}));
+  }
   auto& queue = send_queue_[static_cast<std::size_t>(peer)];
   const std::int64_t credit = world_->config().per_pair_credit_bytes;
   while (!queue.empty() &&
@@ -322,7 +445,7 @@ std::shared_ptr<RecvState> Endpoint::post_recv(std::span<std::byte> buffer, int 
                                                trace::Op op) {
   MPIPRED_REQUIRE(src == kAnySource || (src >= 0 && src < world_->nranks()),
                   "receive source out of range");
-  ++counters_.recvs_posted;
+  inst_.recvs_posted->inc();
 
   auto recv = std::make_shared<RecvState>();
   recv->receiver = rank_;
@@ -342,12 +465,13 @@ std::shared_ptr<RecvState> Endpoint::post_recv(std::span<std::byte> buffer, int 
     }
     Arrival arrival = std::move(*it);
     if (arrival.type != Arrival::Type::Eager) {
-      counters_.unexpected_bytes_now -= world_->config().control_bytes;
+      inst_.unexpected_bytes->add(-world_->config().control_bytes);
     } else if (arrival.preposted) {
-      counters_.preposted_bytes_now -= arrival.bytes;
+      inst_.preposted_bytes->add(-arrival.bytes);
     } else {
-      counters_.unexpected_bytes_now -= arrival.bytes;
+      inst_.unexpected_bytes->add(-arrival.bytes);
     }
+    trace_buffer_pools();
     unexpected_.erase(it);
     if (arrival.type == Arrival::Type::Eager) {
       deliver_eager_to(recv, arrival);
@@ -446,7 +570,8 @@ void Endpoint::grant_cts(const std::shared_ptr<SendState>& send,
 }
 
 void Endpoint::handle_eager(const Arrival& arrival) {
-  ++counters_.eager_received;
+  inst_.eager_received->inc();
+  inst_.message_bytes->observe(arrival.bytes);
   record_physical(arrival.src, arrival.bytes, arrival.kind, arrival.op);
   bool preposted = note_adaptive_arrival(arrival.src, arrival.bytes, arrival.kind);
   // An elided rendezvous was anticipated by the receiver, so its buffer
@@ -461,18 +586,16 @@ void Endpoint::handle_eager(const Arrival& arrival) {
   if (preposted) {
     // Predicted sender: the payload parks in the buffer pre-posted for it
     // — pledged, receiver-controlled memory, not the unexpected pool.
-    counters_.preposted_bytes_now += arrival.bytes;
-    counters_.preposted_bytes_peak =
-        std::max(counters_.preposted_bytes_peak, counters_.preposted_bytes_now);
+    inst_.preposted_bytes->add(arrival.bytes);
+    trace_buffer_pools();
     Arrival parked = arrival;
     parked.preposted = true;
     unexpected_.push_back(std::move(parked));
     return;
   }
-  ++counters_.unexpected_arrivals;
-  counters_.unexpected_bytes_now += arrival.bytes;
-  counters_.unexpected_bytes_peak =
-      std::max(counters_.unexpected_bytes_peak, counters_.unexpected_bytes_now);
+  inst_.unexpected_arrivals->inc();
+  inst_.unexpected_bytes->add(arrival.bytes);
+  trace_buffer_pools();
   unexpected_.push_back(arrival);
 }
 
@@ -483,16 +606,16 @@ void Endpoint::handle_rts(const Arrival& arrival) {
     grant_cts(arrival.send, recv);
     return;
   }
-  ++counters_.unexpected_arrivals;
-  counters_.unexpected_bytes_now += world_->config().control_bytes;
-  counters_.unexpected_bytes_peak =
-      std::max(counters_.unexpected_bytes_peak, counters_.unexpected_bytes_now);
+  inst_.unexpected_arrivals->inc();
+  inst_.unexpected_bytes->add(world_->config().control_bytes);
+  trace_buffer_pools();
   unexpected_.push_back(arrival);
 }
 
 void Endpoint::handle_data(const std::shared_ptr<SendState>& send,
                            const std::shared_ptr<RecvState>& recv) {
-  ++counters_.rendezvous_received;
+  inst_.rendezvous_received->inc();
+  inst_.message_bytes->observe(send->bytes);
   record_physical(send->src, send->bytes, send->kind, send->op);
   // Accounting only: the recv is already matched, so no buffer routing —
   // but the policy must still learn this arrival in physical order.

@@ -10,6 +10,7 @@
 #include "mpi/detail/state.hpp"
 #include "mpi/types.hpp"
 #include "sim/engine.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/store.hpp"
 
 namespace mpipred::mpi {
@@ -54,6 +55,18 @@ struct EndpointCounters {
   /// the prediction service's busy-until horizon ever ran ahead of the
   /// arrival that queued the work.
   std::int64_t adaptive_feed_lag_peak_ns = 0;
+
+  /// One row of the field table below: the snapshot-struct member a
+  /// registry instrument backs, under its exported metric name.
+  struct Field {
+    const char* name;
+    std::int64_t EndpointCounters::* member;
+  };
+  /// Every field, in declaration order — the one list aggregation,
+  /// registry export, and tests iterate instead of hand-written sums.
+  [[nodiscard]] static std::span<const Field> fields() noexcept;
+
+  [[nodiscard]] bool operator==(const EndpointCounters&) const = default;
 };
 
 /// The per-rank bottom half of the MPI library: tag matching, the
@@ -118,8 +131,10 @@ class Endpoint {
   /// progress tasks, and wakes the owner.
   void finish_send(const std::shared_ptr<SendState>& send);
 
-  [[nodiscard]] const EndpointCounters& counters() const noexcept { return counters_; }
-  [[nodiscard]] const ProgressStats& progress_stats() const noexcept { return progress_.stats(); }
+  /// Point-in-time copy assembled from this endpoint's registry-backed
+  /// instruments (the `{rank=N}`-labelled mpi.endpoint.* metrics).
+  [[nodiscard]] EndpointCounters counters() const;
+  [[nodiscard]] ProgressStats progress_stats() const { return progress_.stats(); }
   [[nodiscard]] int rank() const noexcept { return rank_; }
 
  private:
@@ -162,8 +177,34 @@ class Endpoint {
 
   void wake_owner();
 
+  /// Registry instruments behind EndpointCounters, labelled {rank=N}.
+  /// now/peak counter pairs collapse into one Gauge each (add never
+  /// lowers a peak — the exact semantics of the structs they replace).
+  struct Instruments {
+    telemetry::Counter* eager_received = nullptr;
+    telemetry::Counter* rendezvous_received = nullptr;
+    telemetry::Counter* unexpected_arrivals = nullptr;
+    telemetry::Gauge* unexpected_bytes = nullptr;
+    telemetry::Counter* sends_posted = nullptr;
+    telemetry::Counter* recvs_posted = nullptr;
+    telemetry::Counter* eager_credit_stalls = nullptr;
+    telemetry::Counter* prepost_hits = nullptr;
+    telemetry::Counter* prepost_misses = nullptr;
+    telemetry::Gauge* preposted_bytes = nullptr;
+    telemetry::Counter* rendezvous_elided = nullptr;
+    telemetry::Counter* adaptive_feed_ns = nullptr;
+    telemetry::Gauge* adaptive_feed_lag = nullptr;  // peak-only
+    telemetry::Histogram* message_bytes = nullptr;
+    telemetry::Histogram* feed_lag_ns = nullptr;
+  };
+
+  /// Emits the preposted/unexpected byte-pool counter tracks after a
+  /// pool-size change (tracing only; no-op when the tracer is off).
+  void trace_buffer_pools();
+
   World* world_;
   int rank_;
+  telemetry::TraceEventSink* tracer_;  // cached; null when tracing is off
   ProgressEngine progress_;
   std::deque<std::shared_ptr<RecvState>> posted_;
   std::deque<Arrival> unexpected_;
@@ -174,7 +215,7 @@ class Endpoint {
   /// feed: bookkeeping only, never scheduled — the async path must leave
   /// the event stream untouched.
   sim::SimTime feed_busy_until_{0};
-  EndpointCounters counters_;
+  Instruments inst_;
 };
 
 }  // namespace mpipred::mpi::detail

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "mpi/detail/state.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace mpipred::mpi::detail {
 
@@ -33,6 +35,9 @@ struct ProgressTask {
   std::function<void()> fn;         // Callback
 };
 
+/// Stable task-kind names, used as metric labels and trace-event names.
+[[nodiscard]] const char* kind_name(ProgressTask::Kind kind) noexcept;
+
 struct ProgressStats {
   std::int64_t submitted = 0;
   std::int64_t executed = 0;
@@ -54,16 +59,29 @@ struct ProgressStats {
 /// `poll()` exists for cooperative progress (MPI_Test semantics): it drains
 /// whatever is pending and reports whether anything ran.
 ///
+/// Accounting lives in registry-backed instruments: per-kind counters, a
+/// submitted/executed/drains trio, and a queue-depth gauge whose peak is
+/// the old max_queue_depth. A caller that passes no registry gets a
+/// private one, so standalone (unit-test) engines need no wiring.
+///
 /// Single-threaded by design — it runs in the simulation's event loop (or a
 /// caller's thread in unit tests); there is no locking to get wrong.
 class ProgressEngine {
  public:
   using Handler = std::function<void(ProgressTask&)>;
 
-  explicit ProgressEngine(Handler handler);
+  explicit ProgressEngine(Handler handler, telemetry::MetricsRegistry* metrics = nullptr,
+                          const telemetry::LabelSet& labels = {});
 
   ProgressEngine(const ProgressEngine&) = delete;
   ProgressEngine& operator=(const ProgressEngine&) = delete;
+
+  /// Routes per-task instant events and the queue-depth counter track to
+  /// `tracer` (track `track`); nullptr disables emission.
+  void set_tracer(telemetry::TraceEventSink* tracer, int track) {
+    tracer_ = tracer;
+    track_ = track;
+  }
 
   /// Enqueues `t`; drains the queue unless a drain is already in progress.
   void submit(ProgressTask t);
@@ -73,7 +91,8 @@ class ProgressEngine {
 
   [[nodiscard]] bool idle() const noexcept { return queue_.empty() && !draining_; }
   [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
-  [[nodiscard]] const ProgressStats& stats() const noexcept { return stats_; }
+  /// Point-in-time view assembled from the registry instruments.
+  [[nodiscard]] ProgressStats stats() const;
 
  private:
   bool drain();
@@ -81,7 +100,14 @@ class ProgressEngine {
   Handler handler_;
   std::deque<ProgressTask> queue_;
   bool draining_ = false;
-  ProgressStats stats_;
+  std::unique_ptr<telemetry::MetricsRegistry> owned_metrics_;  // when none was passed
+  telemetry::Counter* submitted_ = nullptr;
+  telemetry::Counter* executed_ = nullptr;
+  telemetry::Counter* drains_ = nullptr;
+  telemetry::Gauge* queue_depth_ = nullptr;
+  telemetry::Counter* by_kind_[ProgressTask::kKinds] = {};
+  telemetry::TraceEventSink* tracer_ = nullptr;
+  int track_ = 0;
 };
 
 }  // namespace mpipred::mpi::detail

@@ -7,6 +7,10 @@
 #include "adaptive/config.hpp"
 #include "sim/config.hpp"
 
+namespace mpipred::telemetry {
+class Telemetry;
+}  // namespace mpipred::telemetry
+
 namespace mpipred::mpi {
 
 /// Wildcard source: matches a message from any rank (MPI_ANY_SOURCE).
@@ -92,6 +96,12 @@ struct WorldConfig {
   /// rendezvous elision inside the library (off by default — the paper's
   /// measurement runs use the static library).
   adaptive::RuntimeConfig adaptive{};
+  /// Optional caller-owned telemetry hub (metrics + trace sink). When null
+  /// the World owns a private one, so endpoint/progress counters are
+  /// always registry-backed; passing a hub additionally lets the caller
+  /// export the metrics snapshot and (if enabled there) trace events.
+  /// Overrides `engine.telemetry`, which the World wires to the same hub.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 }  // namespace mpipred::mpi

@@ -1,5 +1,6 @@
 #include "mpi/world.hpp"
 
+#include <algorithm>
 #include <numeric>
 
 #include "adaptive/policy.hpp"
@@ -8,8 +9,18 @@
 
 namespace mpipred::mpi {
 
+const sim::EngineConfig& World::wired_engine_config() noexcept {
+  cfg_.engine.telemetry = telemetry_;
+  return cfg_.engine;
+}
+
 World::World(int nranks, WorldConfig cfg)
-    : cfg_(cfg), engine_(nranks, cfg.engine), traces_(nranks) {
+    : cfg_(cfg),
+      owned_telemetry_(cfg.telemetry == nullptr ? std::make_unique<telemetry::Telemetry>()
+                                                : nullptr),
+      telemetry_(cfg.telemetry != nullptr ? cfg.telemetry : owned_telemetry_.get()),
+      engine_(nranks, wired_engine_config()),
+      traces_(nranks) {
   MPIPRED_REQUIRE(cfg.eager_threshold_bytes >= 0, "eager threshold cannot be negative");
   MPIPRED_REQUIRE(cfg.control_bytes > 0, "control messages need a positive size");
   MPIPRED_REQUIRE(cfg.progress_poll_ns > 0, "progress poll quantum must be positive");
@@ -19,7 +30,11 @@ World::World(int nranks, WorldConfig cfg)
     // One protocol cutoff: the policy elides exactly the messages the
     // library would otherwise send via rendezvous.
     policy_cfg.rendezvous_threshold_bytes = cfg.eager_threshold_bytes;
-    adaptive_ = std::make_unique<adaptive::AdaptivePolicy>(cfg.adaptive.service, policy_cfg);
+    adaptive::ServiceConfig service_cfg = cfg.adaptive.service;
+    // The prediction service's engines report into this world's registry
+    // (engine.feed.* under {view=arrival}/{view=stream} labels).
+    service_cfg.engine.metrics = &telemetry_->metrics();
+    adaptive_ = std::make_unique<adaptive::AdaptivePolicy>(std::move(service_cfg), policy_cfg);
   }
   endpoints_.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
@@ -45,22 +60,25 @@ std::uint32_t World::comm_id_for(std::uint64_t key) {
 detail::EndpointCounters World::aggregate_counters() const {
   detail::EndpointCounters total;
   for (const auto& ep : endpoints_) {
-    const auto& c = ep->counters();
-    total.eager_received += c.eager_received;
-    total.rendezvous_received += c.rendezvous_received;
-    total.unexpected_arrivals += c.unexpected_arrivals;
-    total.unexpected_bytes_now += c.unexpected_bytes_now;
-    total.unexpected_bytes_peak += c.unexpected_bytes_peak;
-    total.sends_posted += c.sends_posted;
-    total.recvs_posted += c.recvs_posted;
-    total.eager_credit_stalls += c.eager_credit_stalls;
-    total.prepost_hits += c.prepost_hits;
-    total.prepost_misses += c.prepost_misses;
-    total.preposted_bytes_now += c.preposted_bytes_now;
-    total.preposted_bytes_peak += c.preposted_bytes_peak;
-    total.rendezvous_elided += c.rendezvous_elided;
-    total.adaptive_feed_ns += c.adaptive_feed_ns;
-    total.adaptive_feed_lag_peak_ns += c.adaptive_feed_lag_peak_ns;
+    const detail::EndpointCounters c = ep->counters();
+    for (const auto& field : detail::EndpointCounters::fields()) {
+      total.*field.member += c.*field.member;
+    }
+  }
+  return total;
+}
+
+detail::ProgressStats World::aggregate_progress_stats() const {
+  detail::ProgressStats total;
+  for (const auto& ep : endpoints_) {
+    const detail::ProgressStats s = ep->progress_stats();
+    total.submitted += s.submitted;
+    total.executed += s.executed;
+    total.drains += s.drains;
+    total.max_queue_depth = std::max(total.max_queue_depth, s.max_queue_depth);
+    for (int k = 0; k < detail::ProgressTask::kKinds; ++k) {
+      total.by_kind[k] += s.by_kind[k];
+    }
   }
   return total;
 }
@@ -73,6 +91,9 @@ void World::run(const std::function<void(Communicator&)>& rank_main) {
     Communicator comm(*this, rank, /*comm_id=*/0, std::move(group), rank.id());
     rank_main(comm);
   });
+  if (adaptive_ != nullptr) {
+    adaptive_->export_metrics(telemetry_->metrics());
+  }
 }
 
 }  // namespace mpipred::mpi

@@ -57,6 +57,15 @@ class World {
   /// Sum of all endpoints' counters (reports, §2.2 benchmarks).
   [[nodiscard]] detail::EndpointCounters aggregate_counters() const;
 
+  /// Sum of all endpoints' progress-engine stats (per-task-kind breakdown
+  /// included) — the bottom-half pipeline's job-wide activity.
+  [[nodiscard]] detail::ProgressStats aggregate_progress_stats() const;
+
+  /// The telemetry hub every subsystem of this world reports into: the
+  /// one from WorldConfig::telemetry, or a World-owned private hub.
+  [[nodiscard]] telemetry::Telemetry& telemetry() noexcept { return *telemetry_; }
+  [[nodiscard]] const telemetry::Telemetry& telemetry() const noexcept { return *telemetry_; }
+
   /// The closed-loop policy every endpoint consults, or nullptr when
   /// `WorldConfig::adaptive.enabled` is false.
   [[nodiscard]] adaptive::AdaptivePolicy* adaptive_policy() noexcept { return adaptive_.get(); }
@@ -65,7 +74,14 @@ class World {
   }
 
  private:
+  /// Points cfg_.engine.telemetry at this world's hub (declared after
+  /// telemetry_, run before engine_ constructs) so the sim engine emits
+  /// into the same registry and trace sink as the MPI layer.
+  [[nodiscard]] const sim::EngineConfig& wired_engine_config() noexcept;
+
   WorldConfig cfg_;
+  std::unique_ptr<telemetry::Telemetry> owned_telemetry_;  // when cfg_.telemetry is null
+  telemetry::Telemetry* telemetry_;                        // never null
   sim::Engine engine_;
   trace::TraceStore traces_;
   std::unique_ptr<adaptive::AdaptivePolicy> adaptive_;

@@ -18,6 +18,12 @@ namespace {
 /// footprints: the StreamState block itself plus table/entry overhead.
 constexpr std::size_t kStreamOverheadBytes = sizeof(engine::StreamState) + 64;
 
+[[nodiscard]] telemetry::LabelSet tenant_labels(std::uint64_t session_id) {
+  telemetry::LabelSet labels;
+  labels.set("tenant", std::to_string(session_id));
+  return labels;
+}
+
 }  // namespace
 
 /// Shared machinery of one server, co-owned by the server handle and every
@@ -32,6 +38,14 @@ class ServerCore {
         shards(engine::effective_shard_count(cfg.engine.shards)),
         pool(shards - 1) {
     MPIPRED_REQUIRE(horizon >= 1, "server horizon must be at least 1");
+    metrics = cfg.engine.metrics;
+    if (metrics == nullptr) {
+      owned_metrics = std::make_unique<telemetry::MetricsRegistry>();
+      metrics = owned_metrics.get();
+    }
+    evictions_total = &metrics->counter("serve.evictions");
+    sessions_opened = &metrics->counter("serve.sessions.opened");
+    resident_bytes = &metrics->gauge("serve.resident_bytes");
   }
 
   void unregister(Session* session) {
@@ -75,6 +89,7 @@ class ServerCore {
             candidates.push_back({state.last_touch, session->id_, key, bytes, session});
           });
     }
+    resident_bytes->set(static_cast<std::int64_t>(total));
     if (total <= cfg.memory_budget_bytes) {
       return;
     }
@@ -91,8 +106,10 @@ class ServerCore {
       }
       victim.owner->shards_.erase(victim.key);
       total -= victim.bytes;
-      ++evictions;
+      evictions_total->inc();
+      metrics->counter("serve.session.evictions", tenant_labels(victim.session_id)).inc();
     }
+    resident_bytes->set(static_cast<std::int64_t>(total));
   }
 
   [[nodiscard]] ServerStats stats() const {
@@ -105,7 +122,7 @@ class ServerCore {
     ServerStats out;
     out.sessions = sessions.size();
     out.budget_bytes = cfg.memory_budget_bytes;
-    out.evictions = evictions;
+    out.evictions = static_cast<std::uint64_t>(evictions_total->value());
     for (const Session* session : sessions) {
       session->shards_.for_each_stream(
           [&](const engine::StreamKey&, const engine::StreamState& state) {
@@ -114,6 +131,7 @@ class ServerCore {
                                   state.size_predictor->footprint_bytes() + kStreamOverheadBytes;
           });
     }
+    resident_bytes->set(static_cast<std::int64_t>(out.resident_bytes));
     return out;
   }
 
@@ -130,7 +148,13 @@ class ServerCore {
   mutable std::mutex mu;
   std::vector<Session*> sessions;  // id order (ids are handed out in order)
   std::uint64_t next_id = 1;
-  std::uint64_t evictions = 0;
+  /// Registry behind serve.* metrics and every session's engine.*
+  /// metrics (per-tenant labels) — cfg.engine.metrics, or an owned one.
+  std::unique_ptr<telemetry::MetricsRegistry> owned_metrics;
+  telemetry::MetricsRegistry* metrics = nullptr;  // never null after ctor
+  telemetry::Counter* evictions_total = nullptr;
+  telemetry::Counter* sessions_opened = nullptr;
+  telemetry::Gauge* resident_bytes = nullptr;
 };
 
 Session::Session(std::shared_ptr<ServerCore> core, std::uint64_t id)
@@ -141,7 +165,9 @@ Session::Session(std::shared_ptr<ServerCore> core, std::uint64_t id)
               {.feed = core_->cfg.engine.feed,
                .min_parallel_batch = core_->cfg.engine.min_parallel_batch,
                .pool = &core_->pool,
-               .clock = &core_->clock}) {}
+               .clock = &core_->clock,
+               .metrics = core_->metrics,
+               .metric_labels = tenant_labels(id)}) {}
 
 Session::~Session() { core_->unregister(this); }
 
@@ -225,6 +251,7 @@ std::shared_ptr<Session> PredictionServer::open_session() {
                   "cannot open a session on a destroyed server");
   auto session = std::shared_ptr<Session>(new Session(core_, core_->next_id++));
   core_->sessions.push_back(session.get());
+  core_->sessions_opened->inc();
   return session;
 }
 

@@ -4,6 +4,10 @@
 
 #include "sim/time.hpp"
 
+namespace mpipred::telemetry {
+class Telemetry;
+}  // namespace mpipred::telemetry
+
 namespace mpipred::sim {
 
 /// Timing/noise model of the simulated interconnect, in the spirit of LogGP:
@@ -50,6 +54,11 @@ struct EngineConfig {
   std::uint64_t seed = 42;
   /// Stack size for each rank's fiber.
   std::size_t fiber_stack_bytes = 256 * 1024;
+  /// Observability sink (not owned; must outlive the engine). The engine
+  /// exports its run stats into the metrics registry and, when tracing is
+  /// enabled on it, emits per-rank compute/block/poll spans. nullptr = no
+  /// telemetry (mpi::World always wires one in).
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 }  // namespace mpipred::sim

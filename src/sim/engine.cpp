@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "common/error.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace mpipred::sim {
 
@@ -22,6 +23,7 @@ void Rank::compute_exact(SimTime d) {
   if (d == SimTime{0}) {
     return;
   }
+  TELEM_SPAN(engine_->tracer(), id_, "compute", "compute");
   // Like every blocking primitive built on block()/unblock(), this loops:
   // other subsystems may unblock this rank spuriously (condition-variable
   // semantics), so completion is tracked with an explicit flag. The flag
@@ -39,6 +41,8 @@ void Rank::compute_exact(SimTime d) {
 
 void Rank::idle_poll(SimTime d) {
   MPIPRED_REQUIRE(d > SimTime{0}, "poll quantum must be positive");
+  ++engine_->stats_.idle_polls;
+  TELEM_SPAN(engine_->tracer(), id_, "idle-poll", "poll");
   // Same shape as compute_exact, but semantically a yield: the rank is not
   // doing work, it is giving the event loop a quantum in which deliveries
   // addressed to it may land. Spurious wakeups (e.g. a completion event)
@@ -58,10 +62,15 @@ void Rank::block(std::string why) {
   MPIPRED_REQUIRE(!blocked_, "rank is already blocked");
   block_reason_ = std::move(why);
   blocked_ = true;
+  telemetry::TraceEventSink* tracer = engine_->tracer();
+  const std::int64_t blocked_at = tracer != nullptr ? tracer->now() : 0;
   // An unblock() may already be pending (e.g. the condition was satisfied
   // between deciding to block and blocking); if so, stay logically blocked
   // until the scheduled resume fires.
   Fiber::yield();
+  if (tracer != nullptr) {
+    tracer->complete(id_, block_reason_, "block", blocked_at, tracer->now() - blocked_at);
+  }
   blocked_ = false;
   block_reason_.clear();
 }
@@ -78,8 +87,16 @@ void Rank::unblock() {
 }
 
 Engine::Engine(int nranks, EngineConfig cfg)
-    : cfg_(cfg), network_(nranks, cfg.network, cfg.seed) {
+    : cfg_(cfg),
+      network_(nranks, cfg.network, cfg.seed),
+      tracer_(cfg.telemetry != nullptr ? cfg.telemetry->tracer() : nullptr) {
   MPIPRED_REQUIRE(nranks > 0, "engine needs at least one rank");
+  if (tracer_ != nullptr) {
+    tracer_->set_clock([this] { return now_.count(); });
+    for (int r = 0; r < nranks; ++r) {
+      tracer_->set_track_name(r, "rank " + std::to_string(r));
+    }
+  }
   ranks_.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
     const std::uint64_t rank_seed =
@@ -161,6 +178,14 @@ void Engine::run(const std::function<void(Rank&)>& rank_main) {
 
   stats_.final_time = now_;
   running_ = false;
+
+  if (cfg_.telemetry != nullptr) {
+    telemetry::MetricsRegistry& metrics = cfg_.telemetry->metrics();
+    metrics.counter("sim.events_processed").add(stats_.events_processed);
+    metrics.counter("sim.context_switches").add(stats_.context_switches);
+    metrics.counter("sim.idle_polls").add(stats_.idle_polls);
+    metrics.gauge("sim.final_time_ns").set(stats_.final_time.count());
+  }
 
   for (const auto& fiber : fibers_) {
     if (!fiber->finished()) {

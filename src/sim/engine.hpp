@@ -13,6 +13,10 @@
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
 
+namespace mpipred::telemetry {
+class TraceEventSink;
+}  // namespace mpipred::telemetry
+
 namespace mpipred::sim {
 
 class Engine;
@@ -70,6 +74,7 @@ class Rank {
 struct EngineStats {
   std::int64_t events_processed = 0;
   std::int64_t context_switches = 0;
+  std::int64_t idle_polls = 0;
   SimTime final_time{0};
 };
 
@@ -113,6 +118,11 @@ class Engine {
   /// Schedules `cb` to run `delay` after the current time.
   void schedule_after(SimTime delay, std::function<void()> cb);
 
+  /// The span/instant sink of the configured telemetry, or nullptr when
+  /// no telemetry was configured or tracing is disabled on it. Cached at
+  /// construction; its clock is bound to this engine's simulated time.
+  [[nodiscard]] telemetry::TraceEventSink* tracer() const noexcept { return tracer_; }
+
  private:
   friend class Rank;
 
@@ -131,6 +141,7 @@ class Engine {
 
   EngineConfig cfg_;
   Network network_;
+  telemetry::TraceEventSink* tracer_ = nullptr;
   SimTime now_{0};
   std::uint64_t next_seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;

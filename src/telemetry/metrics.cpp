@@ -1,0 +1,228 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+
+namespace mpipred::telemetry {
+
+void LabelSet::set(std::string key, std::string value) {
+  const auto it = std::lower_bound(
+      kvs_.begin(), kvs_.end(), key,
+      [](const std::pair<std::string, std::string>& kv, const std::string& k) {
+        return kv.first < k;
+      });
+  if (it != kvs_.end() && it->first == key) {
+    it->second = std::move(value);
+    return;
+  }
+  kvs_.insert(it, {std::move(key), std::move(value)});
+}
+
+std::string LabelSet::to_string() const {
+  std::string out;
+  for (const auto& [k, v] : kvs_) {
+    if (!out.empty()) {
+      out += ',';
+    }
+    out += k;
+    out += '=';
+    out += v;
+  }
+  return out;
+}
+
+Histogram::Histogram(std::vector<std::int64_t> bounds) : bounds_(std::move(bounds)) {
+  MPIPRED_REQUIRE(!bounds_.empty(), "histogram needs at least one bucket bound");
+  MPIPRED_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                      std::adjacent_find(bounds_.begin(), bounds_.end()) == bounds_.end(),
+                  "histogram bounds must be strictly increasing");
+  buckets_ = std::make_unique<std::atomic<std::int64_t>[]>(bounds_.size() + 1);
+}
+
+void Histogram::observe(std::int64_t x) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());  // overflow slot when past end
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(x, std::memory_order_relaxed);
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const SnapshotRow& row : other.rows_) {
+    const auto it = std::lower_bound(rows_.begin(), rows_.end(), row,
+                                     [](const SnapshotRow& a, const SnapshotRow& b) {
+                                       return std::tie(a.name, a.labels) <
+                                              std::tie(b.name, b.labels);
+                                     });
+    if (it == rows_.end() || it->name != row.name || it->labels != row.labels) {
+      rows_.insert(it, row);
+      continue;
+    }
+    if (it->kind != row.kind || it->bounds != row.bounds) {
+      throw UsageError("cannot merge snapshots: instrument '" + row.name + "' {" + row.labels +
+                       "} changed kind or bucket shape");
+    }
+    it->value += row.value;
+    it->peak += row.peak;
+    it->sum += row.sum;
+    for (std::size_t i = 0; i < it->buckets.size(); ++i) {
+      it->buckets[i] += row.buckets[i];
+    }
+  }
+}
+
+std::int64_t MetricsSnapshot::value(std::string_view name) const noexcept {
+  std::int64_t total = 0;
+  for (const SnapshotRow& row : rows_) {
+    if (row.name == name) {
+      total += row.value;
+    }
+  }
+  return total;
+}
+
+namespace {
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
+void append_int_array(std::string& out, std::span<const std::int64_t> xs) {
+  out += '[';
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i != 0) {
+      out += ',';
+    }
+    out += std::to_string(xs[i]);
+  }
+  out += ']';
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\n  \"metrics\": [";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const SnapshotRow& row = rows_[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": ";
+    append_json_string(out, row.name);
+    out += ", \"labels\": ";
+    append_json_string(out, row.labels);
+    out += ", \"kind\": ";
+    append_json_string(out, to_string(row.kind));
+    switch (row.kind) {
+      case InstrumentKind::Counter:
+        out += ", \"value\": " + std::to_string(row.value);
+        break;
+      case InstrumentKind::Gauge:
+        out += ", \"value\": " + std::to_string(row.value);
+        out += ", \"peak\": " + std::to_string(row.peak);
+        break;
+      case InstrumentKind::Histogram:
+        out += ", \"count\": " + std::to_string(row.value);
+        out += ", \"sum\": " + std::to_string(row.sum);
+        out += ", \"bounds\": ";
+        append_int_array(out, row.bounds);
+        out += ", \"buckets\": ";
+        append_int_array(out, row.buckets);
+        break;
+    }
+    out += '}';
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+MetricsRegistry::Instrument& MetricsRegistry::find_or_create(std::string name,
+                                                             const LabelSet& labels,
+                                                             InstrumentKind kind) {
+  const auto [it, inserted] =
+      instruments_.try_emplace({std::move(name), labels.to_string()}, Instrument{});
+  if (inserted) {
+    it->second.kind = kind;
+  } else if (it->second.kind != kind) {
+    std::ostringstream os;
+    os << "metric '" << it->first.first << "' {" << it->first.second << "} is registered as a "
+       << to_string(it->second.kind) << ", not a " << to_string(kind);
+    throw UsageError(os.str());
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(std::string name, const LabelSet& labels) {
+  const std::lock_guard lk(mu_);
+  Instrument& inst = find_or_create(std::move(name), labels, InstrumentKind::Counter);
+  if (inst.counter == nullptr) {
+    inst.counter = std::make_unique<Counter>();
+  }
+  return *inst.counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string name, const LabelSet& labels) {
+  const std::lock_guard lk(mu_);
+  Instrument& inst = find_or_create(std::move(name), labels, InstrumentKind::Gauge);
+  if (inst.gauge == nullptr) {
+    inst.gauge = std::make_unique<Gauge>();
+  }
+  return *inst.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string name, std::vector<std::int64_t> bounds,
+                                      const LabelSet& labels) {
+  const std::lock_guard lk(mu_);
+  Instrument& inst = find_or_create(std::move(name), labels, InstrumentKind::Histogram);
+  if (inst.histogram == nullptr) {
+    inst.histogram = std::make_unique<Histogram>(std::move(bounds));
+  } else if (!std::ranges::equal(inst.histogram->bounds(), bounds)) {
+    throw UsageError("histogram re-registered with different bounds");
+  }
+  return *inst.histogram;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard lk(mu_);
+  MetricsSnapshot snap;
+  snap.rows_.reserve(instruments_.size());
+  for (const auto& [key, inst] : instruments_) {
+    SnapshotRow row;
+    row.name = key.first;
+    row.labels = key.second;
+    row.kind = inst.kind;
+    switch (inst.kind) {
+      case InstrumentKind::Counter: row.value = inst.counter->value(); break;
+      case InstrumentKind::Gauge:
+        row.value = inst.gauge->value();
+        row.peak = inst.gauge->peak();
+        break;
+      case InstrumentKind::Histogram: {
+        const Histogram& h = *inst.histogram;
+        row.value = h.count();
+        row.sum = h.sum();
+        row.bounds.assign(h.bounds().begin(), h.bounds().end());
+        row.buckets.resize(h.bounds().size() + 1);
+        for (std::size_t i = 0; i < row.buckets.size(); ++i) {
+          row.buckets[i] = h.bucket(i);
+        }
+        break;
+      }
+    }
+    snap.rows_.push_back(std::move(row));
+  }
+  return snap;
+}
+
+}  // namespace mpipred::telemetry

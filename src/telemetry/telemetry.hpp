@@ -1,0 +1,81 @@
+#pragma once
+
+// Facade tying the two observability halves together: every World (and
+// every CLI) owns exactly one Telemetry, whose MetricsRegistry is always
+// live (counters are how the library has always accounted for itself —
+// the registry is just their one home now) and whose trace sink is
+// *opt-in*: `tracer()` returns nullptr until `enable_tracing()` is
+// called, so span and instant emission costs nothing — not even a
+// simulated-clock read — in the default configuration.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace mpipred::telemetry {
+
+class Telemetry {
+ public:
+  Telemetry() = default;
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const noexcept { return metrics_; }
+
+  /// Must be called before the instrumented subsystems are constructed
+  /// (they cache the tracer pointer once).
+  void enable_tracing() { tracing_ = true; }
+  [[nodiscard]] bool tracing_enabled() const noexcept { return tracing_; }
+
+  /// The span/instant sink, or nullptr when tracing is off — the one
+  /// branch every emission site guards on.
+  [[nodiscard]] TraceEventSink* tracer() noexcept { return tracing_ ? &sink_ : nullptr; }
+  /// The sink itself (for export), independent of the enable gate.
+  [[nodiscard]] TraceEventSink& trace_sink() noexcept { return sink_; }
+  [[nodiscard]] const TraceEventSink& trace_sink() const noexcept { return sink_; }
+
+ private:
+  MetricsRegistry metrics_;
+  TraceEventSink sink_;
+  bool tracing_ = false;
+};
+
+/// RAII scope priced in simulated ns: captures the sink's clock at
+/// construction and emits one complete event at destruction. A Span built
+/// on a null sink is a no-op (two pointer stores).
+class Span {
+ public:
+  Span() = default;
+  Span(TraceEventSink* sink, int track, const char* name, const char* cat)
+      : sink_(sink), track_(track), name_(name), cat_(cat), start_(sink ? sink->now() : 0) {}
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() {
+    if (sink_ != nullptr) {
+      sink_->complete(track_, name_, cat_, start_, sink_->now() - start_);
+    }
+  }
+
+ private:
+  TraceEventSink* sink_ = nullptr;
+  int track_ = 0;
+  const char* name_ = "";
+  const char* cat_ = "";
+  std::int64_t start_ = 0;
+};
+
+// Drop-in scope instrumentation: TELEM_SPAN(sink, rank, "compute",
+// "compute"); expands to a uniquely-named local Span.
+#define MPIPRED_TELEM_CONCAT2(a, b) a##b
+#define MPIPRED_TELEM_CONCAT(a, b) MPIPRED_TELEM_CONCAT2(a, b)
+#define TELEM_SPAN(sink, track, name, cat) \
+  const ::mpipred::telemetry::Span MPIPRED_TELEM_CONCAT(telem_span_, __LINE__)(sink, track, name, \
+                                                                               cat)
+
+}  // namespace mpipred::telemetry

@@ -1,0 +1,119 @@
+#include "telemetry/trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace mpipred::telemetry {
+
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void TraceEventSink::push(TraceEvent ev) { events_.push_back(std::move(ev)); }
+
+void TraceEventSink::complete(int track, std::string name, std::string cat, std::int64_t ts_ns,
+                              std::int64_t dur_ns, std::string args) {
+  TraceEvent ev;
+  ev.ph = 'X';
+  ev.track = track;
+  ev.ts_ns = ts_ns;
+  ev.dur_ns = dur_ns;
+  ev.name = std::move(name);
+  ev.cat = std::move(cat);
+  ev.args = std::move(args);
+  push(std::move(ev));
+}
+
+void TraceEventSink::instant_at(int track, std::string name, std::string cat, std::int64_t ts_ns,
+                                std::string args) {
+  TraceEvent ev;
+  ev.ph = 'i';
+  ev.track = track;
+  ev.ts_ns = ts_ns;
+  ev.name = std::move(name);
+  ev.cat = std::move(cat);
+  ev.args = std::move(args);
+  push(std::move(ev));
+}
+
+void TraceEventSink::counter_at(int track, std::string name, std::int64_t ts_ns,
+                                std::int64_t value) {
+  TraceEvent ev;
+  ev.ph = 'C';
+  ev.track = track;
+  ev.ts_ns = ts_ns;
+  ev.value = value;
+  ev.name = std::move(name);
+  push(std::move(ev));
+}
+
+namespace {
+
+/// Simulated ns -> the format's microsecond unit, with the sub-us part
+/// kept as three fixed decimals so distinct ns instants stay distinct.
+void append_us(std::string& out, std::int64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%03" PRId64, ns / 1000, ns % 1000);
+  out += buf;
+}
+
+}  // namespace
+
+void TraceEventSink::write_json(std::ostream& os) const {
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  const auto sep = [&] {
+    out += first ? "\n" : ",\n";
+    first = false;
+  };
+  for (const auto& [track, name] : track_names_) {
+    sep();
+    out += R"({"ph": "M", "pid": )" + std::to_string(track) +
+           R"(, "tid": 0, "name": "process_name", "args": {"name": )" + json_quote(name) + "}}";
+  }
+  for (const TraceEvent& ev : events_) {
+    sep();
+    out += "{\"ph\": \"";
+    out += ev.ph;
+    out += "\", \"pid\": " + std::to_string(ev.track) + ", \"tid\": 0, \"ts\": ";
+    append_us(out, ev.ts_ns);
+    out += ", \"name\": " + json_quote(ev.name);
+    if (ev.ph == 'X') {
+      out += ", \"dur\": ";
+      append_us(out, ev.dur_ns);
+    }
+    if (ev.ph == 'i') {
+      out += ", \"s\": \"t\"";  // thread-scoped instant
+    }
+    if (!ev.cat.empty()) {
+      out += ", \"cat\": " + json_quote(ev.cat);
+    }
+    if (ev.ph == 'C') {
+      out += ", \"args\": {\"value\": " + std::to_string(ev.value) + "}";
+    } else if (!ev.args.empty()) {
+      out += ", \"args\": {" + ev.args + "}";
+    }
+    out += '}';
+    if (out.size() >= 1 << 20) {
+      os.write(out.data(), static_cast<std::streamsize>(out.size()));
+      out.clear();
+    }
+  }
+  out += "\n]}\n";
+  os.write(out.data(), static_cast<std::streamsize>(out.size()));
+}
+
+}  // namespace mpipred::telemetry

@@ -1,0 +1,81 @@
+#pragma once
+
+// The timeline half of the observability layer: a sink of Chrome
+// trace-event records priced in *simulated* nanoseconds, exportable as
+// JSON that chrome://tracing and Perfetto load directly. One track per
+// simulated rank (complete spans for compute / blocking / polls, instant
+// events for adaptive decisions) plus counter tracks (preposted bytes,
+// credits, progress queue depth).
+//
+// The sink is passive: recording an event never schedules simulation
+// work, charges simulated time, or perturbs any counter — which is what
+// lets the telemetry-on vs telemetry-off byte-identity gates hold by
+// construction. Single-threaded by design: every emitter runs inside the
+// simulation's event loop (or a replay driver's single thread).
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mpipred::telemetry {
+
+/// One recorded trace event. `args` holds the *inner* body of the JSON
+/// args object ("\"k\":1,\"s\":\"x\"" — no braces), pre-rendered by the
+/// emitter so the hot path never builds a DOM.
+struct TraceEvent {
+  char ph = 'i';            // X = complete, i = instant, C = counter
+  int track = 0;            // rendered as pid (one process per rank)
+  std::int64_t ts_ns = 0;   // simulated ns
+  std::int64_t dur_ns = 0;  // X only
+  std::int64_t value = 0;   // C only
+  std::string name;
+  std::string cat;
+  std::string args;  // X / i only
+};
+
+/// Quotes and escapes `s` for direct inclusion in an args string.
+[[nodiscard]] std::string json_quote(std::string_view s);
+
+class TraceEventSink {
+ public:
+  /// Installs the simulated clock `instant()`/`counter()` stamp events
+  /// with. The engine installs its own `now()`; replay drivers install an
+  /// event-ordinal clock. Unset, the clock reads 0.
+  void set_clock(std::function<std::int64_t()> clock) { clock_ = std::move(clock); }
+  [[nodiscard]] std::int64_t now() const { return clock_ ? clock_() : 0; }
+
+  /// Names the track (process_name metadata row in the export).
+  void set_track_name(int track, std::string name) { track_names_[track] = std::move(name); }
+
+  void complete(int track, std::string name, std::string cat, std::int64_t ts_ns,
+                std::int64_t dur_ns, std::string args = {});
+  void instant(int track, std::string name, std::string cat, std::string args = {}) {
+    instant_at(track, std::move(name), std::move(cat), now(), std::move(args));
+  }
+  void instant_at(int track, std::string name, std::string cat, std::int64_t ts_ns,
+                  std::string args = {});
+  void counter(int track, std::string name, std::int64_t value) {
+    counter_at(track, std::move(name), now(), value);
+  }
+  void counter_at(int track, std::string name, std::int64_t ts_ns, std::int64_t value);
+
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept { return events_; }
+
+  /// Chrome trace-event JSON ({"traceEvents": [...], ...}): metadata rows
+  /// first (track names), then every recorded event in emission order.
+  /// Timestamps are microseconds with ns precision (the format's unit).
+  void write_json(std::ostream& os) const;
+
+ private:
+  void push(TraceEvent ev);
+
+  std::function<std::int64_t()> clock_;
+  std::map<int, std::string> track_names_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace mpipred::telemetry
