@@ -38,6 +38,7 @@
 namespace {
 
 using namespace mpipred;
+// mpipred-lint: allow(wall-clock) -- benches measure real host latency, not simulated time
 using Clock = std::chrono::steady_clock;
 
 std::vector<engine::Event> synthetic_trace(std::size_t nevents, std::int32_t ndestinations) {

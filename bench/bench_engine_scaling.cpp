@@ -84,8 +84,10 @@ int main(int argc, char** argv) {
   for (const std::size_t shards : counts) {
     engine::PredictionEngine eng(
         engine::EngineConfig{.predictor = arg.name, .shards = shards});
+    // mpipred-lint: allow(wall-clock) -- this bench times the real feed path on the host
     const auto start = std::chrono::steady_clock::now();
     eng.observe_all(events);
+    // mpipred-lint: allow(wall-clock) -- same measurement, closing timestamp
     const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
     const auto report = eng.report();
 

@@ -5,8 +5,9 @@
 
 namespace mpipred {
 
-/// Base class for all errors raised by the mpipred libraries.
-class Error : public std::runtime_error {
+/// Base class for all errors raised by the mpipred libraries. Class-level
+/// [[nodiscard]] so a constructed-but-unthrown error is a warning.
+class [[nodiscard]] Error : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };

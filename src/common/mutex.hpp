@@ -1,0 +1,74 @@
+#pragma once
+
+// std::mutex / std::condition_variable wrapped with the capability
+// attributes from thread_annotations.hpp. libstdc++'s std::mutex carries
+// no capability attribute, so Clang's -Wthread-safety cannot track it;
+// these zero-overhead wrappers are what lets MPIPRED_GUARDED_BY(mu)
+// declarations actually check. Under GCC the attributes vanish and the
+// wrappers compile down to the standard types they hold.
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace mpipred::common {
+
+/// std::mutex as a Clang capability. Same semantics, same footprint; the
+/// lock/unlock verbs satisfy BasicLockable, so std::unique_lock<Mutex>
+/// works where a movable or deferred holder is needed (the analysis does
+/// not track unique_lock — prefer MutexLock in checked code).
+class MPIPRED_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MPIPRED_ACQUIRE() { mu_.lock(); }
+  void unlock() MPIPRED_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() MPIPRED_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII scoped lock over Mutex (the std::lock_guard shape, visible to the
+/// analysis as a scoped capability).
+class MPIPRED_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) MPIPRED_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() MPIPRED_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to Mutex. wait() declares the capability held
+/// — the caller locks, loops on its predicate, and waits; the internal
+/// release/reacquire inside std::condition_variable::wait is invisible to
+/// the analysis (and irrelevant to it: the lock is held again before any
+/// guarded access resumes).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) MPIPRED_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();  // the caller's scoped lock still owns the mutex
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace mpipred::common

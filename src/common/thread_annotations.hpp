@@ -1,0 +1,64 @@
+#pragma once
+
+// Clang thread-safety-analysis capability attributes behind MPIPRED_*
+// macros, following the canonical mutex.h shape from the Clang
+// documentation. Under Clang every macro expands to the matching
+// __attribute__, and building with -DMPIPRED_THREAD_SAFETY_ANALYSIS=ON
+// (which adds -Wthread-safety -Werror) turns lock-discipline mistakes —
+// touching a MPIPRED_GUARDED_BY field without its mutex, calling a
+// MPIPRED_REQUIRES function unlocked, re-entering a MPIPRED_EXCLUDES
+// function with the lock held — into compile errors, no TSan run needed.
+// Under GCC (which has no thread-safety analysis) every macro expands to
+// nothing, so annotated code is byte-identical to unannotated code.
+//
+// The annotations only speak about capabilities (mutexes); subsystems
+// that are single-owner by *contract* rather than by lock (the engine
+// shards, whose handoff is the worker pool's slot mutex, and the
+// single-threaded ProgressEngine) cannot be expressed here and stay
+// covered by the TSan CI job and the byte-identity gates instead —
+// docs/STATIC_ANALYSIS.md has the full coverage matrix.
+
+#if defined(__clang__)
+#define MPIPRED_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define MPIPRED_THREAD_ANNOTATION(x)  // no-op: GCC has no -Wthread-safety
+#endif
+
+/// Marks a type as a lockable capability ("mutex").
+#define MPIPRED_CAPABILITY(x) MPIPRED_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type that acquires in its constructor and releases in
+/// its destructor.
+#define MPIPRED_SCOPED_CAPABILITY MPIPRED_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data members readable/writable only with the named capability held.
+#define MPIPRED_GUARDED_BY(x) MPIPRED_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer members whose *pointee* is guarded by the named capability.
+#define MPIPRED_PT_GUARDED_BY(x) MPIPRED_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Lock-ordering declarations (deadlock detection).
+#define MPIPRED_ACQUIRED_BEFORE(...) MPIPRED_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define MPIPRED_ACQUIRED_AFTER(...) MPIPRED_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// The caller must hold the named capabilities (and they stay held).
+#define MPIPRED_REQUIRES(...) MPIPRED_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The function acquires / releases the named capabilities itself.
+#define MPIPRED_ACQUIRE(...) MPIPRED_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define MPIPRED_RELEASE(...) MPIPRED_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define MPIPRED_TRY_ACQUIRE(...) MPIPRED_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the named capabilities (non-reentrancy).
+#define MPIPRED_EXCLUDES(...) MPIPRED_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// The function returns a reference to the named capability.
+#define MPIPRED_RETURN_CAPABILITY(x) MPIPRED_THREAD_ANNOTATION(lock_returned(x))
+
+/// Runtime assertion that the capability is held (trust-me edge).
+#define MPIPRED_ASSERT_CAPABILITY(x) MPIPRED_THREAD_ANNOTATION(assert_capability(x))
+
+/// Escape hatch for functions whose locking is correct but beyond the
+/// analysis (e.g. locking a dynamic set of mutexes). Every use must carry
+/// a comment justifying why the analysis cannot see the discipline.
+#define MPIPRED_NO_THREAD_SAFETY_ANALYSIS MPIPRED_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -107,7 +107,11 @@ class StreamTable {
 
 /// One worker shard: its partition of the stream table plus the reusable
 /// batch buffer the feed loop fills for it. A shard is only ever touched
-/// by one thread at a time.
+/// by one thread at a time — ownership moves with the WorkerPool's
+/// per-slot mutex handoff, not with a lock of its own, so there is no
+/// capability here for the thread-safety analysis to name; the TSan CI
+/// job and the shard-count byte-identity gates cover this contract
+/// (docs/STATIC_ANALYSIS.md has the coverage matrix).
 class EngineShard {
  public:
   EngineShard(const core::Predictor& prototype, std::size_t horizon)

@@ -13,9 +13,14 @@ WorkerPool::WorkerPool(std::size_t workers) {
 }
 
 WorkerPool::~WorkerPool() {
+  // Hold the dispatch lock so destruction serializes against a concurrent
+  // run() (and so the started/thread reads below cannot race a concurrent
+  // ensure_started). Workers never take run_mu_, so joining under it
+  // cannot deadlock.
+  const common::MutexLock serialize(run_mu_);
   for (const auto& slot : slots_) {
     {
-      std::lock_guard lk(slot->mu);
+      const common::MutexLock lk(slot->mu);
       slot->stop = true;
     }
     slot->cv.notify_all();
@@ -25,7 +30,8 @@ WorkerPool::~WorkerPool() {
   }
 }
 
-std::size_t WorkerPool::started_count() const noexcept {
+std::size_t WorkerPool::started_count() const {
+  const common::MutexLock serialize(run_mu_);
   std::size_t count = 0;
   for (const auto& slot : slots_) {
     count += slot->started ? 1 : 0;
@@ -51,8 +57,10 @@ void WorkerPool::worker_loop(Slot& slot) {
     const Job* job = nullptr;
     std::size_t index = 0;
     {
-      std::unique_lock lk(slot.mu);
-      slot.cv.wait(lk, [&] { return slot.stop || slot.job != nullptr; });
+      const common::MutexLock lk(slot.mu);
+      while (!slot.stop && slot.job == nullptr) {
+        slot.cv.wait(slot.mu);
+      }
       if (slot.job == nullptr) {
         return;  // stop with nothing pending; a pending job always runs first
       }
@@ -66,7 +74,7 @@ void WorkerPool::worker_loop(Slot& slot) {
       error = std::current_exception();
     }
     {
-      std::lock_guard lk(slot.mu);
+      const common::MutexLock lk(slot.mu);
       slot.job = nullptr;
       slot.error = error;
     }
@@ -76,7 +84,7 @@ void WorkerPool::worker_loop(Slot& slot) {
 
 void WorkerPool::run(std::span<const std::size_t> slots, const Job& job,
                      const std::function<void()>& caller_job) {
-  const std::lock_guard serialize(run_mu_);
+  const common::MutexLock serialize(run_mu_);
   std::exception_ptr inline_error;
   // Dispatch phase: hand each named slot its job and wake only it. Slots
   // whose threads cannot start run here, on the calling thread, so the
@@ -94,7 +102,7 @@ void WorkerPool::run(std::span<const std::size_t> slots, const Job& job,
       continue;
     }
     {
-      std::lock_guard lk(slot.mu);
+      const common::MutexLock lk(slot.mu);
       slot.job = &job;
       slot.index = index;
     }
@@ -115,8 +123,10 @@ void WorkerPool::run(std::span<const std::size_t> slots, const Job& job,
     if (!slot.started) {
       continue;  // ran inline above
     }
-    std::unique_lock lk(slot.mu);
-    slot.cv.wait(lk, [&] { return slot.job == nullptr; });
+    const common::MutexLock lk(slot.mu);
+    while (slot.job != nullptr) {
+      slot.cv.wait(slot.mu);
+    }
     if (slot.error && !first_worker_error) {
       first_worker_error = slot.error;
     }

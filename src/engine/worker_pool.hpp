@@ -8,16 +8,24 @@
 // non-empty. One pool can serve many shard sets (the serve layer shares a
 // single pool across every tenant session); dispatches from different
 // threads are serialized internally.
+//
+// All locking here is annotated for Clang's thread-safety analysis
+// (-DMPIPRED_THREAD_SAFETY_ANALYSIS=ON): the per-slot handoff state is
+// MPIPRED_GUARDED_BY the slot mutex, dispatch serialization state by
+// run_mu_, and the public entry points are MPIPRED_EXCLUDES(run_mu_) so a
+// job that re-enters run() — the documented self-deadlock — is a compile
+// error at any call site the analysis can see.
 
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace mpipred::engine {
 
@@ -39,8 +47,9 @@ class WorkerPool {
   WorkerPool& operator=(const WorkerPool&) = delete;
 
   /// Blocks until in-flight jobs finish, then stops and joins all threads.
-  /// Must not race a concurrent run() call.
-  ~WorkerPool();
+  /// Serializes against concurrent run() calls (but a run() blocked on a
+  /// never-finishing job still blocks destruction).
+  ~WorkerPool() MPIPRED_EXCLUDES(run_mu_);
 
   /// Wakes the slots named in `slots` to execute job(slot), runs
   /// caller_job() on the calling thread, and returns when every job has
@@ -50,26 +59,32 @@ class WorkerPool {
   /// calling thread instead — work is never lost. Concurrent run() calls
   /// from different threads are serialized internally (the serve layer's
   /// tenants share one pool); the jobs of one dispatch must not themselves
-  /// call run().
+  /// call run() — which is what the EXCLUDES annotation rejects statically.
   void run(std::span<const std::size_t> slots, const Job& job,
-           const std::function<void()>& caller_job);
+           const std::function<void()>& caller_job) MPIPRED_EXCLUDES(run_mu_);
 
   [[nodiscard]] std::size_t worker_count() const noexcept { return slots_.size(); }
 
   /// Threads actually started so far (lazy: 0 until the first dispatch).
-  [[nodiscard]] std::size_t started_count() const noexcept;
+  /// Takes the dispatch lock: started flags are written by concurrent
+  /// run() calls, so an unlocked read would race them.
+  [[nodiscard]] std::size_t started_count() const MPIPRED_EXCLUDES(run_mu_);
 
  private:
   struct Slot {
-    std::mutex mu;
-    std::condition_variable cv;
+    common::Mutex mu;
+    common::CondVar cv;
     /// Non-null while a job is pending or executing on this slot; the
     /// handoff in both directions happens under `mu`, which is what makes
     /// the shard-state writes of the worker visible to the next reader.
-    const Job* job = nullptr;
-    std::size_t index = 0;
-    bool stop = false;
-    std::exception_ptr error;
+    const Job* job MPIPRED_GUARDED_BY(mu) = nullptr;
+    std::size_t index MPIPRED_GUARDED_BY(mu) = 0;
+    bool stop MPIPRED_GUARDED_BY(mu) = false;
+    std::exception_ptr error MPIPRED_GUARDED_BY(mu);
+    /// Thread-start state. Guarded by run_mu_ (the analysis cannot name an
+    /// enclosing-class capability from a nested struct, so the discipline
+    /// is enforced by the REQUIRES/EXCLUDES annotations on the members
+    /// that touch these two fields instead of GUARDED_BY here).
     bool started = false;
     std::thread thread;
   };
@@ -77,11 +92,12 @@ class WorkerPool {
   void worker_loop(Slot& slot);
 
   /// True when the slot's thread is running (started now or earlier).
-  bool ensure_started(Slot& slot);
+  bool ensure_started(Slot& slot) MPIPRED_REQUIRES(run_mu_);
 
   std::vector<std::unique_ptr<Slot>> slots_;
   /// Serializes whole dispatches; per-slot mutexes only guard handoffs.
-  std::mutex run_mu_;
+  /// mutable: started_count() is a const observer but must still lock.
+  mutable common::Mutex run_mu_;
 };
 
 }  // namespace mpipred::engine

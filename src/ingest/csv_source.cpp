@@ -43,7 +43,7 @@ std::unique_ptr<CsvTraceSource> CsvTraceSource::parse(std::istream& is, const st
     break;
   }
   if (!header) {
-    throw IngestError({.file = file, .reason = "no header line found"});
+    throw IngestError({.file = file, .line = 0, .field = {}, .reason = "no header line found"});
   }
 
   // Data lines: parse and validate everything before building the store,

@@ -35,11 +35,14 @@ std::unique_ptr<EventStream> TraceSource::stream_events(trace::Level level) cons
 std::string to_string(const Diagnostic& d) {
   std::string out = d.file;
   if (d.line != 0) {
-    out += ":" + std::to_string(d.line);
+    out += ':';
+    out += std::to_string(d.line);
   }
   out += ": ";
   if (!d.field.empty()) {
-    out += "field '" + d.field + "': ";
+    out += "field '";
+    out += d.field;
+    out += "': ";
   }
   out += d.reason;
   return out;
@@ -101,6 +104,8 @@ namespace {
     known += (known.empty() ? "" : ", ") + f.name;
   }
   throw IngestError({.file = file,
+                     .line = 0,
+                     .field = {},
                      .reason = "no registered trace format matches header '" + probe +
                                "' (known formats: " + known + ")"});
 }
@@ -113,7 +118,10 @@ std::unique_ptr<TraceSource> TraceFormatRegistry::open(std::istream& is,
   is.clear();
   is.seekg(0);
   if (!is) {
-    throw IngestError({.file = file, .reason = "stream is not seekable (cannot rewind probe)"});
+    throw IngestError({.file = file,
+                       .line = 0,
+                       .field = {},
+                       .reason = "stream is not seekable (cannot rewind probe)"});
   }
   for (const TraceFormat& f : formats_) {
     if (f.matches(probe)) {
@@ -127,7 +135,7 @@ std::unique_ptr<EventStream> TraceFormatRegistry::open_stream(const std::string&
                                                               trace::Level level) const {
   std::ifstream is(path);
   if (!is) {
-    throw IngestError({.file = path, .reason = "cannot open for reading"});
+    throw IngestError({.file = path, .line = 0, .field = {}, .reason = "cannot open for reading"});
   }
   const std::string probe = first_meaningful_line(is);
   for (const TraceFormat& f : formats_) {
@@ -140,7 +148,10 @@ std::unique_ptr<EventStream> TraceFormatRegistry::open_stream(const std::string&
     is.clear();
     is.seekg(0);
     if (!is) {
-      throw IngestError({.file = path, .reason = "stream is not seekable (cannot rewind probe)"});
+      throw IngestError({.file = path,
+                         .line = 0,
+                         .field = {},
+                         .reason = "stream is not seekable (cannot rewind probe)"});
     }
     return f.open(is, path)->stream_events(level);
   }
@@ -150,7 +161,7 @@ std::unique_ptr<EventStream> TraceFormatRegistry::open_stream(const std::string&
 std::unique_ptr<TraceSource> open_trace(const std::string& path) {
   std::ifstream is(path);
   if (!is) {
-    throw IngestError({.file = path, .reason = "cannot open for reading"});
+    throw IngestError({.file = path, .line = 0, .field = {}, .reason = "cannot open for reading"});
   }
   return TraceFormatRegistry::instance().open(is, path);
 }

@@ -262,7 +262,7 @@ std::unique_ptr<CsvStreamReader> CsvStreamReader::open(const std::string& path,
   // it can stream this file.
   std::ifstream scan(path);
   if (!scan) {
-    throw IngestError({.file = path, .reason = "cannot open for reading"});
+    throw IngestError({.file = path, .line = 0, .field = {}, .reason = "cannot open for reading"});
   }
   csv_line::Cursor at{.file = path};
   std::optional<csv_line::HeaderInfo> header;
@@ -322,7 +322,7 @@ std::unique_ptr<CsvStreamReader> CsvStreamReader::open(const std::string& path,
     }
   }
   if (!header) {
-    throw IngestError({.file = path, .reason = "no header line found"});
+    throw IngestError({.file = path, .line = 0, .field = {}, .reason = "no header line found"});
   }
   im->header = *header;
   im->nranks = im->declared_nranks.value_or(std::max(max_rank + 1, 1));
@@ -358,7 +358,10 @@ std::unique_ptr<CsvStreamReader> CsvStreamReader::open(const std::string& path,
     case Impl::Mode::NativeMerge: {
       im->is.open(path);
       if (!im->is) {
-        throw IngestError({.file = path, .reason = "cannot open for reading"});
+        throw IngestError({.file = path,
+                           .line = 0,
+                           .field = {},
+                           .reason = "cannot open for reading"});
       }
       im->cursors.resize(im->sections.size());
       for (std::uint32_t i = 0; i < im->sections.size(); ++i) {
@@ -376,7 +379,10 @@ std::unique_ptr<CsvStreamReader> CsvStreamReader::open(const std::string& path,
     case Impl::Mode::FlatSequential: {
       im->is.open(path);
       if (!im->is) {
-        throw IngestError({.file = path, .reason = "cannot open for reading"});
+        throw IngestError({.file = path,
+                           .line = 0,
+                           .field = {},
+                           .reason = "cannot open for reading"});
       }
       break;
     }
@@ -387,7 +393,10 @@ std::unique_ptr<CsvStreamReader> CsvStreamReader::open(const std::string& path,
       // emitted order is the non-streamed path's by construction.
       std::ifstream reparse(path);
       if (!reparse) {
-        throw IngestError({.file = path, .reason = "cannot open for reading"});
+        throw IngestError({.file = path,
+                           .line = 0,
+                           .field = {},
+                           .reason = "cannot open for reading"});
       }
       im->materialized = drain(*CsvTraceSource::parse(reparse, path)->stream_events(level));
       im->note_buffered(im->materialized.size());

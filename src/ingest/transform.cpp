@@ -174,7 +174,8 @@ std::string RankRemapConfig::to_string() const {
       }
       out += std::to_string(keep[i].first);
       if (keep[i].second != keep[i].first) {
-        out += "-" + std::to_string(keep[i].second);
+        out += '-';
+        out += std::to_string(keep[i].second);
       }
     }
   }
@@ -239,6 +240,8 @@ void RankRemapSource::record(std::int32_t old_rank, std::int32_t new_rank) {
       cfg_.collisions == RankRemapConfig::Collisions::Reject) {
     throw IngestError(
         {.file = "<remap " + cfg_.to_string() + ">",
+         .line = 0,
+         .field = {},
          .reason = "old ranks " + std::to_string(slot->second) + " and " +
                    std::to_string(old_rank) + " both map to new rank " +
                    std::to_string(new_rank) + " (collision policy 'strict' rejects folds)"});
@@ -279,6 +282,7 @@ RankRemapReport RankRemapSource::report() const {
   rep.events_in = events_in_;
   rep.events_kept = events_kept_;
   rep.events_dropped = events_dropped_;
+  // mpipred-lint: allow(unordered-iteration) -- sorted on the next line before anything reads it
   rep.mapping.assign(old_to_new_.begin(), old_to_new_.end());
   std::sort(rep.mapping.begin(), rep.mapping.end());
   rep.ranks_observed = static_cast<std::int32_t>(old_to_new_.size());

@@ -65,7 +65,10 @@ struct ProgressStats {
 /// private one, so standalone (unit-test) engines need no wiring.
 ///
 /// Single-threaded by design — it runs in the simulation's event loop (or a
-/// caller's thread in unit tests); there is no locking to get wrong.
+/// caller's thread in unit tests); there is no locking to get wrong, and
+/// therefore no capability for the thread-safety analysis to check: its
+/// invariants (FIFO order, non-nested drains) are pinned by progress_test
+/// and the mpi_gate_test byte-identity goldens instead.
 class ProgressEngine {
  public:
   using Handler = std::function<void(ProgressTask&)>;

@@ -43,7 +43,7 @@ class Endpoint;
 ///    unmatched receive, or an eager send still queued for credit. A
 ///    cancelled future is ready; a cancelled receive never completes and
 ///    its continuations never run.
-class Future {
+class [[nodiscard]] Future {
  public:
   Future() = default;
 

@@ -48,24 +48,26 @@ class ServerCore {
     resident_bytes = &metrics->gauge("serve.resident_bytes");
   }
 
-  void unregister(Session* session) {
-    const std::lock_guard lk(mu);
+  void unregister(Session* session) MPIPRED_EXCLUDES(mu) {
+    const common::MutexLock lk(mu);
     std::erase(sessions, session);
   }
 
   /// Evicts coldest-first across every session until resident bytes fit
   /// the budget. Lock order: core mutex, then session mutexes in id order
   /// — callers must hold neither (feeds release their session mutex
-  /// before entering).
-  void enforce_budget() {
+  /// before entering). Locking a *dynamic* set of session mutexes is
+  /// beyond the thread-safety analysis's lexical scope, so this function
+  /// opts out; the TSan CI job covers it instead.
+  void enforce_budget() MPIPRED_NO_THREAD_SAFETY_ANALYSIS {
     if (cfg.memory_budget_bytes == 0) {
       return;
     }
-    const std::lock_guard core_lk(mu);
+    const common::MutexLock core_lk(mu);
     if (closed.load(std::memory_order_acquire)) {
       return;
     }
-    std::vector<std::unique_lock<std::mutex>> session_locks;
+    std::vector<std::unique_lock<common::Mutex>> session_locks;
     session_locks.reserve(sessions.size());
     for (Session* session : sessions) {
       session_locks.emplace_back(session->mu_);
@@ -112,9 +114,10 @@ class ServerCore {
     resident_bytes->set(static_cast<std::int64_t>(total));
   }
 
-  [[nodiscard]] ServerStats stats() const {
-    const std::lock_guard core_lk(mu);
-    std::vector<std::unique_lock<std::mutex>> session_locks;
+  /// Same dynamic lock-set shape as enforce_budget, same opt-out.
+  [[nodiscard]] ServerStats stats() const MPIPRED_NO_THREAD_SAFETY_ANALYSIS {
+    const common::MutexLock core_lk(mu);
+    std::vector<std::unique_lock<common::Mutex>> session_locks;
     session_locks.reserve(sessions.size());
     for (Session* session : sessions) {
       session_locks.emplace_back(session->mu_);
@@ -145,9 +148,10 @@ class ServerCore {
   /// reject further mutation.
   std::atomic<bool> closed{false};
   /// Guards the session registry and the eviction counter.
-  mutable std::mutex mu;
-  std::vector<Session*> sessions;  // id order (ids are handed out in order)
-  std::uint64_t next_id = 1;
+  mutable common::Mutex mu;
+  /// id order (ids are handed out in order).
+  std::vector<Session*> sessions MPIPRED_GUARDED_BY(mu);
+  std::uint64_t next_id MPIPRED_GUARDED_BY(mu) = 1;
   /// Registry behind serve.* metrics and every session's engine.*
   /// metrics (per-tenant labels) — cfg.engine.metrics, or an owned one.
   std::unique_ptr<telemetry::MetricsRegistry> owned_metrics;
@@ -161,6 +165,7 @@ Session::Session(std::shared_ptr<ServerCore> core, std::uint64_t id)
     : core_(std::move(core)),
       id_(id),
       horizon_(core_->horizon),
+      shard_count_(core_->shards),
       shards_(core_->shards, *core_->prototype, core_->horizon, core_->cfg.engine.key,
               {.feed = core_->cfg.engine.feed,
                .min_parallel_batch = core_->cfg.engine.min_parallel_batch,
@@ -173,7 +178,7 @@ Session::~Session() { core_->unregister(this); }
 
 void Session::observe(const engine::Event& event) {
   {
-    const std::lock_guard lk(mu_);
+    const common::MutexLock lk(mu_);
     MPIPRED_REQUIRE(!core_->closed.load(std::memory_order_acquire),
                     "session is orphaned: its PredictionServer was destroyed");
     shards_.observe_one(event);
@@ -183,7 +188,7 @@ void Session::observe(const engine::Event& event) {
 
 void Session::observe_all(std::span<const engine::Event> events) {
   {
-    const std::lock_guard lk(mu_);
+    const common::MutexLock lk(mu_);
     MPIPRED_REQUIRE(!core_->closed.load(std::memory_order_acquire),
                     "session is orphaned: its PredictionServer was destroyed");
     shards_.feed(events);
@@ -202,36 +207,36 @@ engine::StreamKey Session::key_of(const engine::Event& event) const {
 
 std::optional<core::Predictor::Value> Session::predict_sender(const engine::StreamKey& key,
                                                               std::size_t h) const {
-  const std::lock_guard lk(mu_);
+  const common::MutexLock lk(mu_);
   const engine::StreamState* state = shards_.find(key);
   return state == nullptr ? std::nullopt : state->sender_predictor->predict(h);
 }
 
 std::optional<core::Predictor::Value> Session::predict_size(const engine::StreamKey& key,
                                                             std::size_t h) const {
-  const std::lock_guard lk(mu_);
+  const common::MutexLock lk(mu_);
   const engine::StreamState* state = shards_.find(key);
   return state == nullptr ? std::nullopt : state->size_predictor->predict(h);
 }
 
 std::optional<engine::StreamSnapshot> Session::snapshot(const engine::StreamKey& key) const {
-  const std::lock_guard lk(mu_);
+  const common::MutexLock lk(mu_);
   const engine::StreamRef ref(shards_.find(key));
   return ref.valid() ? std::optional(ref.snapshot()) : std::nullopt;
 }
 
 engine::StreamRef Session::stream(const engine::StreamKey& key) const {
-  const std::lock_guard lk(mu_);
+  const common::MutexLock lk(mu_);
   return engine::StreamRef(shards_.find(key));
 }
 
 engine::EngineReport Session::report() const {
-  const std::lock_guard lk(mu_);
+  const common::MutexLock lk(mu_);
   return engine::report_of(shards_);
 }
 
 std::size_t Session::stream_count() const {
-  const std::lock_guard lk(mu_);
+  const common::MutexLock lk(mu_);
   return shards_.stream_count();
 }
 
@@ -246,7 +251,7 @@ PredictionServer::~PredictionServer() {
 }
 
 std::shared_ptr<Session> PredictionServer::open_session() {
-  const std::lock_guard lk(core_->mu);
+  const common::MutexLock lk(core_->mu);
   MPIPRED_REQUIRE(!core_->closed.load(std::memory_order_acquire),
                   "cannot open a session on a destroyed server");
   auto session = std::shared_ptr<Session>(new Session(core_, core_->next_id++));

@@ -19,10 +19,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "engine/config.hpp"
 #include "engine/engine.hpp"
 #include "engine/shard.hpp"
@@ -82,11 +83,11 @@ class Session {
 
   /// Routes one event into this session's streams. Throws UsageError if
   /// the server has been destroyed.
-  void observe(const engine::Event& event);
+  void observe(const engine::Event& event) MPIPRED_EXCLUDES(mu_);
 
   /// Batched feed through the resident shard workers; blocks until every
   /// event is observed (and any budget-driven eviction ran).
-  void observe_all(std::span<const engine::Event> events);
+  void observe_all(std::span<const engine::Event> events) MPIPRED_EXCLUDES(mu_);
   void feed(std::span<const engine::Event> events) { observe_all(events); }
 
   /// Pull-based batched feed; same double-buffered driver as
@@ -96,23 +97,25 @@ class Session {
 
   [[nodiscard]] engine::StreamKey key_of(const engine::Event& event) const;
 
-  [[nodiscard]] std::optional<core::Predictor::Value> predict_sender(const engine::StreamKey& key,
-                                                                     std::size_t h = 1) const;
-  [[nodiscard]] std::optional<core::Predictor::Value> predict_size(const engine::StreamKey& key,
-                                                                   std::size_t h = 1) const;
-  [[nodiscard]] std::optional<engine::StreamSnapshot> snapshot(const engine::StreamKey& key) const;
+  [[nodiscard]] std::optional<core::Predictor::Value> predict_sender(
+      const engine::StreamKey& key, std::size_t h = 1) const MPIPRED_EXCLUDES(mu_);
+  [[nodiscard]] std::optional<core::Predictor::Value> predict_size(
+      const engine::StreamKey& key, std::size_t h = 1) const MPIPRED_EXCLUDES(mu_);
+  [[nodiscard]] std::optional<engine::StreamSnapshot> snapshot(const engine::StreamKey& key) const
+      MPIPRED_EXCLUDES(mu_);
 
   /// One-lookup stream view; invalidated by this session's next observe
   /// and by any eviction that removes the stream.
-  [[nodiscard]] engine::StreamRef stream(const engine::StreamKey& key) const;
+  [[nodiscard]] engine::StreamRef stream(const engine::StreamKey& key) const
+      MPIPRED_EXCLUDES(mu_);
 
   /// Accuracy and footprint of everything this session observed and still
   /// holds; identical to a standalone engine's report over the same feed
   /// (when nothing was evicted).
-  [[nodiscard]] engine::EngineReport report() const;
+  [[nodiscard]] engine::EngineReport report() const MPIPRED_EXCLUDES(mu_);
 
-  [[nodiscard]] std::size_t stream_count() const;
-  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.shard_count(); }
+  [[nodiscard]] std::size_t stream_count() const MPIPRED_EXCLUDES(mu_);
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shard_count_; }
   [[nodiscard]] std::size_t horizon() const noexcept { return horizon_; }
 
  private:
@@ -124,9 +127,12 @@ class Session {
   std::shared_ptr<ServerCore> core_;
   std::uint64_t id_;
   std::size_t horizon_;
+  /// Copied out of shards_ at construction (immutable afterwards) so the
+  /// lock-free shard_count() observer needs no capability.
+  std::size_t shard_count_;
   /// Guards shards_ against the server's cross-session eviction pass.
-  mutable std::mutex mu_;
-  engine::ShardSet shards_;
+  mutable common::Mutex mu_;
+  engine::ShardSet shards_ MPIPRED_GUARDED_BY(mu_);
 };
 
 /// The resident service: builds the predictor prototype and worker pool

@@ -164,7 +164,7 @@ MetricsRegistry::Instrument& MetricsRegistry::find_or_create(std::string name,
 }
 
 Counter& MetricsRegistry::counter(std::string name, const LabelSet& labels) {
-  const std::lock_guard lk(mu_);
+  const common::MutexLock lk(mu_);
   Instrument& inst = find_or_create(std::move(name), labels, InstrumentKind::Counter);
   if (inst.counter == nullptr) {
     inst.counter = std::make_unique<Counter>();
@@ -173,7 +173,7 @@ Counter& MetricsRegistry::counter(std::string name, const LabelSet& labels) {
 }
 
 Gauge& MetricsRegistry::gauge(std::string name, const LabelSet& labels) {
-  const std::lock_guard lk(mu_);
+  const common::MutexLock lk(mu_);
   Instrument& inst = find_or_create(std::move(name), labels, InstrumentKind::Gauge);
   if (inst.gauge == nullptr) {
     inst.gauge = std::make_unique<Gauge>();
@@ -183,7 +183,7 @@ Gauge& MetricsRegistry::gauge(std::string name, const LabelSet& labels) {
 
 Histogram& MetricsRegistry::histogram(std::string name, std::vector<std::int64_t> bounds,
                                       const LabelSet& labels) {
-  const std::lock_guard lk(mu_);
+  const common::MutexLock lk(mu_);
   Instrument& inst = find_or_create(std::move(name), labels, InstrumentKind::Histogram);
   if (inst.histogram == nullptr) {
     inst.histogram = std::make_unique<Histogram>(std::move(bounds));
@@ -194,7 +194,7 @@ Histogram& MetricsRegistry::histogram(std::string name, std::vector<std::int64_t
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  const std::lock_guard lk(mu_);
+  const common::MutexLock lk(mu_);
   MetricsSnapshot snap;
   snap.rows_.reserve(instruments_.size());
   for (const auto& [key, inst] : instruments_) {

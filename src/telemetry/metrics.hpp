@@ -22,12 +22,14 @@
 #include <initializer_list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace mpipred::telemetry {
 
@@ -196,12 +198,13 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  [[nodiscard]] Counter& counter(std::string name, const LabelSet& labels = {});
-  [[nodiscard]] Gauge& gauge(std::string name, const LabelSet& labels = {});
+  [[nodiscard]] Counter& counter(std::string name, const LabelSet& labels = {})
+      MPIPRED_EXCLUDES(mu_);
+  [[nodiscard]] Gauge& gauge(std::string name, const LabelSet& labels = {}) MPIPRED_EXCLUDES(mu_);
   [[nodiscard]] Histogram& histogram(std::string name, std::vector<std::int64_t> bounds,
-                                     const LabelSet& labels = {});
+                                     const LabelSet& labels = {}) MPIPRED_EXCLUDES(mu_);
 
-  [[nodiscard]] MetricsSnapshot snapshot() const;
+  [[nodiscard]] MetricsSnapshot snapshot() const MPIPRED_EXCLUDES(mu_);
 
  private:
   struct Instrument {
@@ -211,11 +214,14 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  Instrument& find_or_create(std::string name, const LabelSet& labels, InstrumentKind kind);
+  Instrument& find_or_create(std::string name, const LabelSet& labels, InstrumentKind kind)
+      MPIPRED_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  mutable common::Mutex mu_;
   // Keyed (name, serialized labels): the map's order *is* snapshot order.
-  std::map<std::pair<std::string, std::string>, Instrument> instruments_;
+  // Guarded registration only — the returned instrument references have
+  // stable addresses and are themselves lock-free atomics.
+  std::map<std::pair<std::string, std::string>, Instrument> instruments_ MPIPRED_GUARDED_BY(mu_);
 };
 
 }  // namespace mpipred::telemetry

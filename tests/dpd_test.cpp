@@ -133,8 +133,8 @@ TEST(Dpd, DistanceMatchesDefinition) {
   EXPECT_EQ(d.distance(6), 0);  // multiples of the period also match
   EXPECT_EQ(d.distance(1), 1);
   EXPECT_EQ(d.distance(2), 1);
-  EXPECT_THROW(d.distance(0), UsageError);
-  EXPECT_THROW(d.distance(9), UsageError);
+  EXPECT_THROW((void)d.distance(0), UsageError);
+  EXPECT_THROW((void)d.distance(9), UsageError);
 }
 
 TEST(Dpd, ValueAtLagWalksBackwards) {
@@ -145,7 +145,7 @@ TEST(Dpd, ValueAtLagWalksBackwards) {
   EXPECT_EQ(d.value_at_lag(0), 90);
   EXPECT_EQ(d.value_at_lag(4), 50);
   EXPECT_EQ(d.value_at_lag(9), 0);
-  EXPECT_THROW(d.value_at_lag(10), UsageError);
+  EXPECT_THROW((void)d.value_at_lag(10), UsageError);
 }
 
 TEST(Dpd, RingBufferWrapsCorrectly) {

@@ -219,9 +219,11 @@ TEST(FormatRegistry, PluggableFormatsDispatchByProbe) {
                   .matches = [](std::string_view header) { return header == "nullfmt"; },
                   .open = [](std::istream&, const std::string&) -> std::unique_ptr<TraceSource> {
                     return std::make_unique<NullSource>();
-                  }});
+                  },
+                  .open_stream = {}});
   }
-  EXPECT_THROW(registry.add({.name = "null", .matches = {}, .open = {}}), UsageError);
+  EXPECT_THROW(registry.add({.name = "null", .matches = {}, .open = {}, .open_stream = {}}),
+               UsageError);
   const auto source = parse("nullfmt\n");
   EXPECT_EQ(source->format(), "null");
   EXPECT_EQ(source->store(), nullptr);

@@ -1,0 +1,16 @@
+// lint-fixture-path: src/sim/example.cpp
+// lint-expect: lint-usage
+// lint-expect: wall-clock
+// A bare allow() is itself a finding, and it does NOT suppress the
+// underlying rule: suppressions must say why they are safe.
+
+#include <chrono>
+
+namespace mpipred::sim {
+
+long long bad_now() {
+  // mpipred-lint: allow(wall-clock)
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace mpipred::sim

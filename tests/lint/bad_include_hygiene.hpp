@@ -1,0 +1,8 @@
+// lint-fixture-path: src/mpi/example.hpp
+// lint-expect: include-hygiene
+// An mpi/ header dragging the full engine into every MPI translation
+// unit — exactly what the config-header split removed.
+#pragma once
+
+#include "engine/engine.hpp"
+#include "mpi/types.hpp"

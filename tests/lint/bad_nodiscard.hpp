@@ -1,0 +1,21 @@
+// lint-fixture-path: src/engine/example.hpp
+// lint-expect: nodiscard
+// A report-returning API without [[nodiscard]] and a Future class without
+// the class-level attribute: both silently-droppable results.
+#pragma once
+
+namespace mpipred::engine {
+
+struct EngineReport;
+
+class Example {
+ public:
+  EngineReport report() const;
+};
+
+class Future {
+ public:
+  bool test();
+};
+
+}  // namespace mpipred::engine

@@ -1,0 +1,9 @@
+// lint-fixture-path: src/common/example.hpp
+// lint-expect: pragma-once
+// Header with no include guard of any kind.
+
+namespace mpipred {
+
+inline int answer() { return 42; }
+
+}  // namespace mpipred

@@ -1,0 +1,12 @@
+// lint-fixture-path: src/core/example.cpp
+// lint-expect: raw-assert
+// assert() compiles out under NDEBUG; library invariants must stay on.
+
+#include <cassert>
+#include <cstddef>
+
+namespace mpipred {
+
+void check(std::size_t horizon) { assert(horizon >= 1); }
+
+}  // namespace mpipred

@@ -1,0 +1,20 @@
+// lint-fixture-path: src/telemetry/example.cpp
+// lint-expect: unordered-iteration
+// Hash-order iteration feeding output: byte-identity across shard counts
+// dies here.
+
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+namespace mpipred {
+
+void dump() {
+  std::unordered_map<std::string, int> counters;
+  counters["a"] = 1;
+  for (const auto& [name, value] : counters) {
+    std::printf("%s=%d\n", name.c_str(), value);
+  }
+}
+
+}  // namespace mpipred

@@ -1,0 +1,14 @@
+// lint-fixture-path: src/sim/network.cpp
+// lint-expect: wall-clock
+// A simulated-world file reading the host clock: the canonical determinism
+// violation this linter exists to catch.
+
+#include <chrono>
+
+namespace mpipred::sim {
+
+long long bad_now() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+}  // namespace mpipred::sim

@@ -1,0 +1,11 @@
+// lint-fixture-path: src/mpi/example.hpp
+// The split config headers (plus mpi/common/telemetry/sim/trace) are the
+// only sanctioned cross-layer includes for mpi/ headers.
+#pragma once
+
+#include "adaptive/config.hpp"
+#include "common/assert.hpp"
+#include "engine/config.hpp"
+#include "mpi/types.hpp"
+#include "sim/config.hpp"
+#include "trace/event.hpp"

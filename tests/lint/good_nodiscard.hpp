@@ -1,0 +1,23 @@
+// lint-fixture-path: src/engine/example.hpp
+// The compliant shapes: attribute on the same line, on the line above,
+// and class-level on Future.
+#pragma once
+
+namespace mpipred::engine {
+
+struct EngineReport;
+struct StreamSnapshot;
+
+class Example {
+ public:
+  [[nodiscard]] EngineReport report() const;
+  [[nodiscard]]
+  StreamSnapshot snapshot() const;
+};
+
+class [[nodiscard]] Future {
+ public:
+  bool test();
+};
+
+}  // namespace mpipred::engine

@@ -1,0 +1,8 @@
+// lint-fixture-path: src/common/example.hpp
+#pragma once
+
+namespace mpipred {
+
+inline int answer() { return 42; }
+
+}  // namespace mpipred

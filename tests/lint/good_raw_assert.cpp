@@ -1,0 +1,17 @@
+// lint-fixture-path: src/core/example.cpp
+// MPIPRED_REQUIRE is always-on and throws a typed UsageError;
+// static_assert is compile-time and always fine.
+
+#include <cstddef>
+
+#include "common/assert.hpp"
+
+namespace mpipred {
+
+static_assert(sizeof(std::size_t) >= 4, "need 32-bit size_t at least");
+
+void check(std::size_t horizon) {
+  MPIPRED_REQUIRE(horizon >= 1, "horizon must be at least 1");
+}
+
+}  // namespace mpipred

@@ -1,0 +1,21 @@
+// lint-fixture-path: src/telemetry/example.cpp
+// The sanctioned shape: copy out of the unordered container (with a
+// reasoned allow), sort, then iterate the sorted copy.
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace mpipred {
+
+std::vector<std::pair<std::string, int>> sorted_counters(
+    const std::unordered_map<std::string, int>& counters) {
+  // mpipred-lint: allow(unordered-iteration) -- sorted on the next line before anything reads it
+  std::vector<std::pair<std::string, int>> out(counters.begin(), counters.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace mpipred

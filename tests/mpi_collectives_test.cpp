@@ -18,7 +18,11 @@ namespace {
 class Collectives : public ::testing::TestWithParam<int> {};
 
 INSTANTIATE_TEST_SUITE_P(WorldSizes, Collectives, ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16),
-                         [](const auto& info) { return "p" + std::to_string(info.param); });
+                         [](const auto& info) {
+                           std::string name = "p";
+                           name += std::to_string(info.param);
+                           return name;
+                         });
 
 TEST_P(Collectives, BarrierCompletesEverywhere) {
   const int p = GetParam();

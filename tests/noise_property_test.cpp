@@ -50,8 +50,11 @@ INSTANTIATE_TEST_SUITE_P(SwapRates, NoiseSweep,
                          ::testing::Combine(::testing::Values(5, 13, 26),   // period
                                             ::testing::Values(0, 10, 40)),  // swaps/1000
                          [](const auto& info) {
-                           return "m" + std::to_string(std::get<0>(info.param)) + "_s" +
-                                  std::to_string(std::get<1>(info.param));
+                           std::string name = "m";
+                           name += std::to_string(std::get<0>(info.param));
+                           name += "_s";
+                           name += std::to_string(std::get<1>(info.param));
+                           return name;
                          });
 
 TEST_P(NoiseSweep, AccuracyDegradesSmoothlyNotCatastrophically) {

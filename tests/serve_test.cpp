@@ -119,6 +119,33 @@ TEST(WorkerPool, CallerErrorWinsOverWorkerError) {
   }
 }
 
+TEST(WorkerPool, StartedCountIsSafeAgainstConcurrentRuns) {
+  // Lock-discipline regression (found by the thread-safety annotation
+  // pass): started_count() used to read each slot's started flag without
+  // holding run_mu_, racing the lazy thread starts inside a concurrent
+  // run(). Under TSan this test flags the old code; under a plain build
+  // it still checks the monotonic-count invariant.
+  engine::WorkerPool pool(4);
+  const std::vector<std::size_t> slots = {0, 1, 2, 3};
+  std::atomic<bool> stop{false};
+  std::size_t last = 0;
+  std::thread observer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::size_t now = pool.started_count();
+      EXPECT_GE(now, last) << "started threads never un-start";
+      EXPECT_LE(now, 4u);
+      last = now;
+    }
+  });
+  for (int round = 0; round < 100; ++round) {
+    pool.run(
+        slots, [](std::size_t) {}, [] {});
+  }
+  stop.store(true, std::memory_order_release);
+  observer.join();
+  EXPECT_EQ(pool.started_count(), 4u);
+}
+
 TEST(WorkerPool, DestructionAfterHeavyLoadJoinsCleanly) {
   // Shutdown-under-load regression: dispatch continuously and destroy the
   // pool immediately after the last run returns. Any dropped notify or

@@ -237,9 +237,9 @@ TEST(Network, CrossSenderReorderingHappensUnderJitter) {
 
 TEST(Network, RejectsBadArguments) {
   Network net(2, NetworkConfig{}, 1);
-  EXPECT_THROW(net.plan_transfer(-1, 0, 10, SimTime{0}), UsageError);
-  EXPECT_THROW(net.plan_transfer(0, 2, 10, SimTime{0}), UsageError);
-  EXPECT_THROW(net.plan_transfer(0, 1, -5, SimTime{0}), UsageError);
+  EXPECT_THROW((void)net.plan_transfer(-1, 0, 10, SimTime{0}), UsageError);
+  EXPECT_THROW((void)net.plan_transfer(0, 2, 10, SimTime{0}), UsageError);
+  EXPECT_THROW((void)net.plan_transfer(0, 1, -5, SimTime{0}), UsageError);
 }
 
 // ---------------------------------------------------------------- engine --
