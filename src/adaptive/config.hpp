@@ -77,6 +77,13 @@ struct RuntimeConfig {
   bool prepost_buffers = true;
   /// (b) elide RTS/CTS for large messages the receiver anticipated.
   bool elide_rendezvous = true;
+  /// (c) let eager sends fly on the per-stream credits of
+  /// `AdaptivePolicy::credit_plan` instead of the per-pair eager budget: a
+  /// send whose flow holds a sufficiently large, sufficiently confident
+  /// size prediction bypasses `per_pair_credit_bytes` throttling, and the
+  /// credit is returned when the receiver consumes the payload. Off by
+  /// default — live flow control then stays per peer, as before.
+  bool per_stream_credits = false;
   /// Simulated cost of one feed step, charged per fed physical arrival.
   /// 0 (the default) makes both feed paths take identical code paths and
   /// leave the event stream untouched.

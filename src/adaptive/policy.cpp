@@ -21,7 +21,10 @@ AdaptivePolicy::Receiver& AdaptivePolicy::receiver(std::int32_t destination) {
   if (it != receivers_.end()) {
     return *it;
   }
-  receivers_.push_back({.destination = destination, .preposted = {}, .lru = {}});
+  receivers_.push_back({.destination = destination,
+                        .preposted = {},
+                        .lru = {},
+                        .active = !(service_.arrival_confidence(destination) < cfg_.min_confidence)});
   return receivers_.back();
 }
 
@@ -32,6 +35,16 @@ const AdaptivePolicy::Receiver* AdaptivePolicy::find_receiver(std::int32_t desti
 }
 
 void AdaptivePolicy::refresh_plan(Receiver& r) {
+  // Confidence degrade: a receiver whose arrival stream scores below
+  // min_confidence keeps no plan at all — not even the LRU tail — so its
+  // behavior is exactly the static per-peer library's. (The strict `<`
+  // keeps the min_confidence == 0.0 default byte-identical to the
+  // pre-degrade policy: a fresh stream's 0.0 confidence still qualifies.)
+  r.active = !(service_.arrival_confidence(r.destination) < cfg_.min_confidence);
+  if (!r.active) {
+    r.preposted.clear();
+    return;
+  }
   r.preposted = service_.predicted_senders(r.destination, cfg_.min_confidence);
   // Keep a small LRU of recent senders allocated as well, newest first.
   for (auto it = r.lru.rbegin(); it != r.lru.rend(); ++it) {
@@ -46,6 +59,9 @@ bool AdaptivePolicy::on_arrival(const engine::Event& event) {
   const bool hit =
       std::find(r.preposted.begin(), r.preposted.end(), event.source) != r.preposted.end();
   ++stats_.messages;
+  if (!r.active) {
+    ++stats_.degraded_arrivals;
+  }
   if (hit) {
     ++stats_.prepost_hits;
   } else {
@@ -99,6 +115,8 @@ void AdaptivePolicy::export_metrics(telemetry::MetricsRegistry& metrics) const {
   metrics.counter("adaptive.policy.eager_sends").add(stats_.eager_sends);
   metrics.counter("adaptive.policy.rendezvous_sends").add(stats_.rendezvous_sends);
   metrics.counter("adaptive.policy.rendezvous_elided").add(stats_.rendezvous_elided);
+  metrics.counter("adaptive.policy.degraded_arrivals").add(stats_.degraded_arrivals);
+  metrics.counter("adaptive.policy.elision_saved_ns").add(stats_.elision_saved_ns);
   metrics.gauge("adaptive.policy.peak_buffers").observe_peak(stats_.peak_buffers);
 }
 

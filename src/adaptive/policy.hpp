@@ -35,6 +35,13 @@ struct PolicyStats {
   std::int64_t eager_sends = 0;
   std::int64_t rendezvous_sends = 0;
   std::int64_t rendezvous_elided = 0;
+  /// Arrivals scored while the receiver was degraded to static behavior
+  /// because its arrival stream's confidence sat below min_confidence.
+  std::int64_t degraded_arrivals = 0;
+  /// Total nominal RTS/CTS round-trip nanoseconds avoided by elisions, as
+  /// accounted by the caller (the live endpoint prices each elision at the
+  /// network's per-pair handshake cost; replays leave this 0).
+  std::int64_t elision_saved_ns = 0;
 
   [[nodiscard]] double hit_rate() const noexcept {
     return messages == 0 ? 0.0
@@ -90,6 +97,11 @@ class AdaptivePolicy {
   /// rounded up to the credit granule. First-seen flow order.
   [[nodiscard]] std::vector<Credit> credit_plan(std::int32_t destination) const;
 
+  /// Credits an elided rendezvous with the handshake nanoseconds it
+  /// avoided. The caller prices the saving (the policy has no network
+  /// model); the live endpoint passes the nominal per-pair RTS/CTS cost.
+  void note_elision_saved(std::int64_t ns) noexcept { stats_.elision_saved_ns += ns; }
+
   [[nodiscard]] const PolicyStats& stats() const noexcept { return stats_; }
 
   /// Copies the integer decision totals into `metrics` as
@@ -106,6 +118,10 @@ class AdaptivePolicy {
     std::int32_t destination = 0;
     std::vector<std::int32_t> preposted;  // predicted senders + LRU tail
     std::vector<std::int32_t> lru;        // most recent senders, newest last
+    /// False while the receiver's arrival confidence sits below
+    /// min_confidence: the whole plan (including the LRU tail) is dropped,
+    /// so behavior degrades to exactly the static per-peer library's.
+    bool active = true;
   };
 
   [[nodiscard]] Receiver& receiver(std::int32_t destination);

@@ -131,6 +131,10 @@ double PredictionService::stream_confidence(std::int32_t source, std::int32_t de
   return stream_view(source, destination, tag).snapshot().size_accuracy;
 }
 
+double PredictionService::arrival_confidence(std::int32_t destination, std::int32_t tag) const {
+  return arrival_.stream(arrival_key(destination, tag)).snapshot().sender_accuracy;
+}
+
 engine::StreamRef PredictionService::stream_view(std::int32_t source, std::int32_t destination,
                                                  std::int32_t tag) const {
   return stream_.stream(stream_key(source, destination, tag));

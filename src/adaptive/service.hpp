@@ -80,6 +80,11 @@ class PredictionService {
   [[nodiscard]] double stream_confidence(std::int32_t source, std::int32_t destination,
                                          std::int32_t tag = 0) const;
 
+  /// Observed +1 sender accuracy of the arrival stream at `destination`;
+  /// 0.0 for receivers that have seen nothing. This is the confidence the
+  /// policy's degrade gate compares against `min_confidence`.
+  [[nodiscard]] double arrival_confidence(std::int32_t destination, std::int32_t tag = 0) const;
+
   /// The (source -> destination) flow resolved once — for consumers that
   /// read both its size prediction and its confidence per message.
   [[nodiscard]] engine::StreamRef stream_view(std::int32_t source, std::int32_t destination,

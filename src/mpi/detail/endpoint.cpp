@@ -1,6 +1,7 @@
 #include "mpi/detail/endpoint.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <numeric>
@@ -46,6 +47,12 @@ std::span<const EndpointCounters::Field> EndpointCounters::fields() noexcept {
       {"rendezvous_elided", &EndpointCounters::rendezvous_elided},
       {"adaptive_feed_ns", &EndpointCounters::adaptive_feed_ns},
       {"adaptive_feed_lag_peak_ns", &EndpointCounters::adaptive_feed_lag_peak_ns},
+      {"fallback_round_trips", &EndpointCounters::fallback_round_trips},
+      {"fallback_ns", &EndpointCounters::fallback_ns},
+      {"stream_credit_grants", &EndpointCounters::stream_credit_grants},
+      {"stream_credit_releases", &EndpointCounters::stream_credit_releases},
+      {"stream_credit_bytes_now", &EndpointCounters::stream_credit_bytes_now},
+      {"stream_credit_bytes_peak", &EndpointCounters::stream_credit_bytes_peak},
   };
   return kFields;
 }
@@ -57,6 +64,7 @@ Endpoint::Endpoint(World& world, int rank)
       progress_([this](ProgressTask& t) { dispatch(t); }, &world.telemetry().metrics(),
                 rank_labels(rank)) {
   credit_used_.assign(static_cast<std::size_t>(world.nranks()), 0);
+  stream_credit_used_.assign(static_cast<std::size_t>(world.nranks()), 0);
   send_queue_.resize(static_cast<std::size_t>(world.nranks()));
 
   telemetry::MetricsRegistry& metrics = world.telemetry().metrics();
@@ -74,6 +82,11 @@ Endpoint::Endpoint(World& world, int rank)
   inst_.rendezvous_elided = &metrics.counter("mpi.endpoint.rendezvous_elided", labels);
   inst_.adaptive_feed_ns = &metrics.counter("mpi.endpoint.adaptive_feed_ns", labels);
   inst_.adaptive_feed_lag = &metrics.gauge("mpi.endpoint.adaptive_feed_lag_ns", labels);
+  inst_.fallback_round_trips = &metrics.counter("mpi.endpoint.fallback_round_trips", labels);
+  inst_.fallback_ns = &metrics.counter("mpi.endpoint.fallback_ns", labels);
+  inst_.stream_credit_grants = &metrics.counter("mpi.endpoint.stream_credit_grants", labels);
+  inst_.stream_credit_releases = &metrics.counter("mpi.endpoint.stream_credit_releases", labels);
+  inst_.stream_credit_bytes = &metrics.gauge("mpi.endpoint.stream_credit_bytes", labels);
   inst_.message_bytes = &metrics.histogram(
       "mpi.endpoint.message_bytes", {64, 256, 1024, 4096, 16384, 65536, 262144, 1048576}, labels);
   inst_.feed_lag_ns = &metrics.histogram("mpi.adaptive.feed_lag_ns",
@@ -98,6 +111,12 @@ EndpointCounters Endpoint::counters() const {
   c.rendezvous_elided = inst_.rendezvous_elided->value();
   c.adaptive_feed_ns = inst_.adaptive_feed_ns->value();
   c.adaptive_feed_lag_peak_ns = inst_.adaptive_feed_lag->peak();
+  c.fallback_round_trips = inst_.fallback_round_trips->value();
+  c.fallback_ns = inst_.fallback_ns->value();
+  c.stream_credit_grants = inst_.stream_credit_grants->value();
+  c.stream_credit_releases = inst_.stream_credit_releases->value();
+  c.stream_credit_bytes_now = inst_.stream_credit_bytes->value();
+  c.stream_credit_bytes_peak = inst_.stream_credit_bytes->peak();
   return c;
 }
 
@@ -120,7 +139,9 @@ void Endpoint::dispatch(ProgressTask& task) {
     case ProgressTask::Kind::EagerArrival: handle_eager(task.arrival); return;
     case ProgressTask::Kind::RtsArrival: handle_rts(task.arrival); return;
     case ProgressTask::Kind::RendezvousData: handle_data(task.send, task.recv); return;
-    case ProgressTask::Kind::CreditRelease: handle_credit(task.peer, task.bytes); return;
+    case ProgressTask::Kind::CreditRelease:
+      handle_credit(task.peer, task.bytes, task.per_stream);
+      return;
     case ProgressTask::Kind::Callback: task.fn(); return;
   }
 }
@@ -173,6 +194,15 @@ void Endpoint::credit_returned(int peer, std::int64_t bytes) {
   task.kind = ProgressTask::Kind::CreditRelease;
   task.peer = peer;
   task.bytes = bytes;
+  progress_.submit(std::move(task));
+}
+
+void Endpoint::stream_credit_returned(int peer, std::int64_t bytes) {
+  ProgressTask task;
+  task.kind = ProgressTask::Kind::CreditRelease;
+  task.peer = peer;
+  task.bytes = bytes;
+  task.per_stream = true;
   progress_.submit(std::move(task));
 }
 
@@ -304,6 +334,11 @@ std::shared_ptr<SendState> Endpoint::post_send(std::span<const std::byte> data, 
         send->rendezvous = false;
         send->elided = true;
         inst_.rendezvous_elided->inc();
+        // Account what the skipped RTS/CTS would have cost on this pair.
+        // Accounting only — no planning state moves and no randomness is
+        // consumed — surfaced as adaptive.policy.elision_saved_ns.
+        policy->note_elision_saved(std::llround(world_->engine().network().nominal_handshake_ns(
+            rank_, dst, world_->config().control_bytes)));
       }
     }
   }
@@ -326,9 +361,25 @@ std::shared_ptr<SendState> Endpoint::post_send(std::span<const std::byte> data, 
     // An elided-rendezvous send has its own pledged buffer, so the credit
     // never gates it — but it still queues behind earlier stalled sends
     // (same-pair ordering must hold for tag matching).
-    const std::int64_t credit = world_->config().per_pair_credit_bytes;
     const auto d = static_cast<std::size_t>(dst);
-    const bool fits = send->elided || credit <= 0 || credit_used_[d] == 0 ||
+    // §2.2 per-stream credits (opt-in): a send whose flow holds a
+    // sufficiently large, sufficiently confident size prediction flies on
+    // the receiver's pledged per-stream credit instead of the per-pair
+    // budget. At most one credited message per stream is in flight at a
+    // time; the credit returns when the receiver consumes the payload.
+    if (world_->config().adaptive.per_stream_credits && !send->elided &&
+        stream_credit_used_[d] == 0) {
+      if (adaptive::AdaptivePolicy* policy = world_->adaptive_policy()) {
+        for (const adaptive::Credit& c : policy->credit_plan(dst)) {
+          if (c.sender == rank_ && c.bytes >= send->bytes) {
+            send->credited = true;
+            break;
+          }
+        }
+      }
+    }
+    const std::int64_t credit = world_->config().per_pair_credit_bytes;
+    const bool fits = send->elided || send->credited || credit <= 0 || credit_used_[d] == 0 ||
                       credit_used_[d] + send->bytes <= credit;
     if (fits && send_queue_[d].empty()) {
       launch_eager(send);
@@ -361,7 +412,16 @@ std::shared_ptr<SendState> Endpoint::post_send(std::span<const std::byte> data, 
 void Endpoint::launch_eager(const std::shared_ptr<SendState>& send) {
   sim::Engine& eng = world_->engine();
   const std::int64_t header = world_->config().header_bytes;
-  if (world_->config().per_pair_credit_bytes > 0 && !send->elided) {
+  if (send->credited) {
+    stream_credit_used_[static_cast<std::size_t>(send->dst)] += send->bytes;
+    inst_.stream_credit_grants->inc();
+    inst_.stream_credit_bytes->add(send->bytes);
+    if (tracer_ != nullptr) {
+      tracer_->counter(rank_, "stream_credit_bytes",
+                       std::accumulate(stream_credit_used_.begin(), stream_credit_used_.end(),
+                                       std::int64_t{0}));
+    }
+  } else if (world_->config().per_pair_credit_bytes > 0 && !send->elided) {
     credit_used_[static_cast<std::size_t>(send->dst)] += send->bytes;
     if (tracer_ != nullptr) {
       tracer_->counter(rank_, "credit_used_bytes",
@@ -381,6 +441,7 @@ void Endpoint::launch_eager(const std::shared_ptr<SendState>& send) {
     arrival.kind = send->kind;
     arrival.op = send->op;
     arrival.elided = send->elided;
+    arrival.credited = send->credited;
     arrival.payload = send->payload;
     dst_ep.deliver_eager(std::move(arrival));
   });
@@ -420,7 +481,23 @@ void Endpoint::finish_recv(const std::shared_ptr<RecvState>& recv, const Status&
   }
 }
 
-void Endpoint::handle_credit(int peer, std::int64_t bytes) {
+void Endpoint::handle_credit(int peer, std::int64_t bytes, bool per_stream) {
+  if (per_stream) {
+    // A consumed credited payload returns its stream credit. Releases
+    // mirror grants exactly, so the outstanding balance drains to zero.
+    // No queue drain: stream credits never gate the per-pair queue, and a
+    // queued send's credited status was fixed at post time.
+    auto& used = stream_credit_used_[static_cast<std::size_t>(peer)];
+    used -= std::min(used, bytes);
+    inst_.stream_credit_releases->inc();
+    inst_.stream_credit_bytes->add(-bytes);
+    if (tracer_ != nullptr) {
+      tracer_->counter(rank_, "stream_credit_bytes",
+                       std::accumulate(stream_credit_used_.begin(), stream_credit_used_.end(),
+                                       std::int64_t{0}));
+    }
+    return;
+  }
   if (world_->config().per_pair_credit_bytes <= 0) {
     return;
   }
@@ -432,8 +509,8 @@ void Endpoint::handle_credit(int peer, std::int64_t bytes) {
   }
   auto& queue = send_queue_[static_cast<std::size_t>(peer)];
   const std::int64_t credit = world_->config().per_pair_credit_bytes;
-  while (!queue.empty() &&
-         (queue.front()->elided || used == 0 || used + queue.front()->bytes <= credit)) {
+  while (!queue.empty() && (queue.front()->elided || queue.front()->credited || used == 0 ||
+                            used + queue.front()->bytes <= credit)) {
     auto next = queue.front();
     queue.pop_front();
     launch_eager(next);
@@ -474,7 +551,21 @@ std::shared_ptr<RecvState> Endpoint::post_recv(std::span<std::byte> buffer, int 
     trace_buffer_pools();
     unexpected_.erase(it);
     if (arrival.type == Arrival::Type::Eager) {
-      deliver_eager_to(recv, arrival);
+      if (arrival.usable_at > world_->engine().now()) {
+        // The payload parked unmatched under a priced network and its
+        // §2.2 ask-permission round-trip is still in flight: match now
+        // (the pool gauge above is already debited) but copy out and
+        // complete only once the grant lands.
+        recv->matched = true;
+        world_->engine().schedule(arrival.usable_at, [this, recv, arrival] {
+          ProgressTask task;
+          task.kind = ProgressTask::Kind::Callback;
+          task.fn = [this, recv, arrival] { deliver_eager_to(recv, arrival); };
+          progress_.submit(std::move(task));
+        });
+      } else {
+        deliver_eager_to(recv, arrival);
+      }
     } else {
       recv->matched = true;
       resolve_logical(*recv, arrival.src, arrival.bytes);
@@ -536,11 +627,18 @@ void Endpoint::deliver_eager_to(const std::shared_ptr<RecvState>& recv, const Ar
   recv->matched = true;
   finish_recv(recv, Status{arrival.src, arrival.tag, arrival.bytes});
   resolve_logical(*recv, arrival.src, arrival.bytes);
-  // The receiver's per-peer buffer slot is free again: return the credit
-  // to the sender (event-scheduled: this may run in either context). An
-  // elided send never consumed credit, so releasing would wrongly free
-  // other messages' budget.
-  if (!arrival.elided) {
+  // The receiver's buffer slot is free again: return the credit to the
+  // sender (event-scheduled: this may run in either context). A credited
+  // send returns its per-stream credit; a plain eager send its per-pair
+  // budget; an elided send never consumed either, so releasing would
+  // wrongly free other messages' budget.
+  if (arrival.credited) {
+    Endpoint& src_ep = world_->endpoint(arrival.src);
+    const std::int64_t freed = arrival.bytes;
+    const int me = rank_;
+    world_->engine().schedule(world_->engine().now(),
+                              [&src_ep, me, freed] { src_ep.stream_credit_returned(me, freed); });
+  } else if (!arrival.elided) {
     Endpoint& src_ep = world_->endpoint(arrival.src);
     const std::int64_t freed = arrival.bytes;
     const int me = rank_;
@@ -574,11 +672,12 @@ void Endpoint::handle_eager(const Arrival& arrival) {
   inst_.message_bytes->observe(arrival.bytes);
   record_physical(arrival.src, arrival.bytes, arrival.kind, arrival.op);
   bool preposted = note_adaptive_arrival(arrival.src, arrival.bytes, arrival.kind);
-  // An elided rendezvous was anticipated by the receiver, so its buffer
-  // is pledged by construction — it must never be charged to the
-  // unbounded unexpected pool (even if the pre-post plan shifted between
-  // send and arrival, or eager pre-posting is configured off).
-  preposted = preposted || arrival.elided;
+  // An elided rendezvous was anticipated by the receiver, and a credited
+  // send flies into a pledged per-stream slot: their buffers are
+  // receiver-controlled by construction — never charged to the unbounded
+  // unexpected pool (even if the pre-post plan shifted between send and
+  // arrival, or eager pre-posting is configured off).
+  preposted = preposted || arrival.elided || arrival.credited;
   if (auto recv = take_posted_match(arrival)) {
     deliver_eager_to(recv, arrival);
     return;
@@ -596,7 +695,23 @@ void Endpoint::handle_eager(const Arrival& arrival) {
   inst_.unexpected_arrivals->inc();
   inst_.unexpected_bytes->add(arrival.bytes);
   trace_buffer_pools();
-  unexpected_.push_back(arrival);
+  Arrival parked = arrival;
+  // §2.2 price of landing in uncontrolled memory: the payload is copied
+  // aside and the receiver must ask the sender's permission before the
+  // data becomes usable — one ask + one grant crossing, priced by the
+  // network model (zero, with no RNG draw, while fallback_cost is 0).
+  const sim::SimTime rtt = world_->engine().network().plan_fallback(arrival.src, rank_);
+  if (rtt > sim::SimTime{0}) {
+    parked.usable_at = world_->engine().now() + rtt;
+    inst_.fallback_round_trips->inc();
+    inst_.fallback_ns->add(rtt.count());
+    if (tracer_ != nullptr) {
+      tracer_->instant(rank_, "fallback-rtt", "mpi",
+                       "\"src\":" + std::to_string(arrival.src) +
+                           ",\"ns\":" + std::to_string(rtt.count()));
+    }
+  }
+  unexpected_.push_back(std::move(parked));
 }
 
 void Endpoint::handle_rts(const Arrival& arrival) {

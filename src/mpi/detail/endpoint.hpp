@@ -55,6 +55,20 @@ struct EndpointCounters {
   /// the prediction service's busy-until horizon ever ran ahead of the
   /// arrival that queued the work.
   std::int64_t adaptive_feed_lag_peak_ns = 0;
+  /// §2.2 priced fallbacks: unexpected-pool eager arrivals that paid the
+  /// ask-permission round-trip (only under NetworkConfig::fallback_cost >
+  /// 0), and the total simulated ns those round-trips added before the
+  /// parked payloads became usable.
+  std::int64_t fallback_round_trips = 0;
+  std::int64_t fallback_ns = 0;
+  /// Live per-stream eager credits (RuntimeConfig::per_stream_credits):
+  /// grants consumed by credited sends, releases returned at consumption,
+  /// and the outstanding credited bytes (now/peak). Conservation — grants
+  /// == releases and now == 0 after drain — is a pinned invariant.
+  std::int64_t stream_credit_grants = 0;
+  std::int64_t stream_credit_releases = 0;
+  std::int64_t stream_credit_bytes_now = 0;
+  std::int64_t stream_credit_bytes_peak = 0;
 
   /// One row of the field table below: the snapshot-struct member a
   /// registry instrument backs, under its exported metric name.
@@ -104,6 +118,9 @@ class Endpoint {
   void deliver_rts(Arrival arrival);
   void deliver_data(std::shared_ptr<SendState> send, std::shared_ptr<RecvState> recv);
   void credit_returned(int peer, std::int64_t bytes);
+  /// Per-stream variant: the receiver consumed a credited payload and
+  /// returns the stream credit this endpoint (the sender) spent on it.
+  void stream_credit_returned(int peer, std::int64_t bytes);
 
   // --- cooperative progress & cancellation (owner fiber context) ----------
 
@@ -137,13 +154,20 @@ class Endpoint {
   [[nodiscard]] ProgressStats progress_stats() const { return progress_.stats(); }
   [[nodiscard]] int rank() const noexcept { return rank_; }
 
+  /// Outstanding credited bytes per destination (sender side) — the
+  /// per-stream conservation quantity the credit tests assert drains to
+  /// zero for every flow.
+  [[nodiscard]] std::span<const std::int64_t> stream_credit_outstanding() const noexcept {
+    return stream_credit_used_;
+  }
+
  private:
   // Task bodies (run inside the progress drain).
   void dispatch(ProgressTask& task);
   void handle_eager(const Arrival& arrival);
   void handle_rts(const Arrival& arrival);
   void handle_data(const std::shared_ptr<SendState>& send, const std::shared_ptr<RecvState>& recv);
-  void handle_credit(int peer, std::int64_t bytes);
+  void handle_credit(int peer, std::int64_t bytes, bool per_stream);
 
   /// Routes a delivery task through the progress queue. Under
   /// FeedPath::Inline with a nonzero predict cost, the submit is delayed by
@@ -194,6 +218,11 @@ class Endpoint {
     telemetry::Counter* rendezvous_elided = nullptr;
     telemetry::Counter* adaptive_feed_ns = nullptr;
     telemetry::Gauge* adaptive_feed_lag = nullptr;  // peak-only
+    telemetry::Counter* fallback_round_trips = nullptr;
+    telemetry::Counter* fallback_ns = nullptr;
+    telemetry::Counter* stream_credit_grants = nullptr;
+    telemetry::Counter* stream_credit_releases = nullptr;
+    telemetry::Gauge* stream_credit_bytes = nullptr;
     telemetry::Histogram* message_bytes = nullptr;
     telemetry::Histogram* feed_lag_ns = nullptr;
   };
@@ -209,6 +238,7 @@ class Endpoint {
   std::deque<std::shared_ptr<RecvState>> posted_;
   std::deque<Arrival> unexpected_;
   std::vector<std::int64_t> credit_used_;                           // per destination
+  std::vector<std::int64_t> stream_credit_used_;                    // per destination
   std::vector<std::deque<std::shared_ptr<SendState>>> send_queue_;  // per destination
   std::function<void(const Status&)> recv_notify_;
   /// Busy-until horizon of the deferred (FeedPath::Progress) adaptive

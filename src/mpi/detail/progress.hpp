@@ -32,6 +32,7 @@ struct ProgressTask {
   std::shared_ptr<RecvState> recv;  // RendezvousData
   int peer = -1;                    // CreditRelease
   std::int64_t bytes = 0;           // CreditRelease
+  bool per_stream = false;          // CreditRelease: stream credit, not per-pair
   std::function<void()> fn;         // Callback
 };
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "mpi/status.hpp"
+#include "sim/time.hpp"
 #include "trace/event.hpp"
 
 namespace mpipred::mpi::detail {
@@ -30,6 +31,12 @@ struct SendState {
   /// pledged buffer, so it neither consumes nor releases the per-pair
   /// eager credit.
   bool elided = false;
+  /// Eager send flying on a per-stream credit the receiver pledged from
+  /// its prediction-driven credit plan (§2.2, RuntimeConfig::
+  /// per_stream_credits): bypasses the per-pair eager budget and parks in
+  /// pledged memory; the stream credit is returned when the receiver
+  /// consumes the payload.
+  bool credited = false;
   bool complete = false;
   /// Removed from the send queue by Future::cancel() before launch.
   bool cancelled = false;
@@ -77,6 +84,15 @@ struct Arrival {
   /// Carried over from SendState::elided (stays outside the per-pair
   /// eager credit; parks in pledged memory when unexpected).
   bool elided = false;
+  /// Carried over from SendState::credited: the payload landed on a
+  /// per-stream credit, which the receiver returns at consumption.
+  bool credited = false;
+  /// Earliest simulated instant the parked payload may complete a recv.
+  /// Set past the park time only when the arrival landed in the
+  /// *unexpected* pool under a priced network
+  /// (sim::NetworkConfig::fallback_cost > 0): the §2.2 unexpected-copy /
+  /// ask-permission round-trip must finish before the data is usable.
+  sim::SimTime usable_at{0};
   Payload payload;                   // Eager only
   std::shared_ptr<SendState> send;   // Rts only
 };

@@ -19,6 +19,13 @@ struct LatencyModel {
   [[nodiscard]] double handshake_ns(std::int64_t bytes) const noexcept {
     return 3.0 * latency_ns + static_cast<double>(bytes) * ns_per_byte;
   }
+  /// The unexpected-copy/ask-permission fallback the live simulator
+  /// charges through sim::NetworkConfig::fallback_cost: the payload
+  /// already arrived eagerly, so only the ask and grant crossings remain
+  /// (two latencies, no data leg — cheaper than a full handshake_ns).
+  /// Keeping the ratio here ties the trace-driven replays to the live
+  /// endpoint's pricing.
+  [[nodiscard]] double fallback_rtt_ns() const noexcept { return 2.0 * latency_ns; }
 };
 
 }  // namespace mpipred::scale

@@ -35,6 +35,15 @@ struct NetworkConfig {
   /// Coefficient of variation applied to every compute() block, modelling
   /// OS/load imbalance on the simulated hosts. 0 disables it.
   double compute_jitter_cv = 0.0;
+  /// Price of one control-message crossing of the unexpected-copy /
+  /// ask-permission fallback (paper section 2.2): an eager payload that
+  /// lands with no matching receive posted is copied aside, and the
+  /// receiver must complete an ask (dst -> src) plus a grant (src -> dst)
+  /// crossing before the data becomes usable. Each crossing costs
+  /// `fallback_cost`, scaled by the same per-pair skew and lognormal
+  /// jitter as a wire latency. 0 (default) disables pricing entirely and
+  /// consumes no randomness, so every pre-existing golden is unchanged.
+  SimTime fallback_cost{0};
   /// Amplitude of the *systematic* per-(src,dst) extra wire latency, as a
   /// fraction of `latency`: each pair gets a fixed factor in
   /// [1, 1+path_skew), derived from the seed. Real interconnects route

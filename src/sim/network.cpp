@@ -9,7 +9,8 @@ namespace mpipred::sim {
 Network::Network(int nranks, NetworkConfig cfg, std::uint64_t seed)
     : nranks_(nranks),
       cfg_(cfg),
-      rng_(derive_seed(seed, /*stream=*/0x4E4554ULL)),  // "NET"
+      rng_(derive_seed(seed, /*stream=*/0x4E4554ULL)),           // "NET"
+      fallback_rng_(derive_seed(seed, /*stream=*/0x46414C4CULL)),  // "FALL"
       send_nic_free_(static_cast<std::size_t>(nranks), SimTime{0}),
       last_delivery_(static_cast<std::size_t>(nranks) * static_cast<std::size_t>(nranks),
                      SimTime{0}),
@@ -66,6 +67,32 @@ TransferTiming Network::plan_transfer(int src, int dst, std::int64_t bytes, SimT
   fifo = delivery;
 
   return TransferTiming{.sender_free = cpu_done, .delivery = delivery};
+}
+
+SimTime Network::plan_fallback(int src, int dst) {
+  MPIPRED_REQUIRE(src >= 0 && src < nranks_, "source rank out of range");
+  MPIPRED_REQUIRE(dst >= 0 && dst < nranks_, "destination rank out of range");
+  const double base = to_ns(cfg_.fallback_cost);
+  if (base <= 0.0) {
+    return SimTime{0};
+  }
+  ++fallbacks_planned_;
+  // Ask travels dst -> src, the grant comes back src -> dst; each leg sees
+  // its own direction's route skew and an independent jitter draw.
+  const double ask = base * fallback_rng_.lognormal_factor(cfg_.latency_jitter_cv) *
+                     pair_factor(dst, src);
+  const double grant = base * fallback_rng_.lognormal_factor(cfg_.latency_jitter_cv) *
+                       pair_factor(src, dst);
+  return from_ns(ask + grant);
+}
+
+double Network::nominal_handshake_ns(int src, int dst, std::int64_t control_bytes) const {
+  MPIPRED_REQUIRE(src >= 0 && src < nranks_, "source rank out of range");
+  MPIPRED_REQUIRE(dst >= 0 && dst < nranks_, "destination rank out of range");
+  const double per_leg_cpu = to_ns(cfg_.send_overhead) + to_ns(cfg_.recv_overhead);
+  const double serialize = static_cast<double>(control_bytes) * cfg_.gap_ns_per_byte;
+  return 2.0 * (per_leg_cpu + serialize) +
+         to_ns(cfg_.latency) * (pair_factor(src, dst) + pair_factor(dst, src));
 }
 
 }  // namespace mpipred::sim

@@ -37,24 +37,51 @@ class Network {
   /// advancing the internal NIC-availability state.
   [[nodiscard]] TransferTiming plan_transfer(int src, int dst, std::int64_t bytes, SimTime now);
 
+  /// Prices one unexpected-copy/ask-permission fallback for a payload from
+  /// `src` that parked unmatched at `dst`: an ask (dst -> src) plus a grant
+  /// (src -> dst) crossing, each costing `fallback_cost` scaled by the
+  /// per-pair route factor and a lognormal jitter draw. Returns the total
+  /// extra delay before the parked payload becomes usable. While
+  /// `fallback_cost` is 0 this returns 0 and consumes no randomness; the
+  /// draws otherwise come from a dedicated stream so priced runs leave the
+  /// transfer-jitter sequence untouched.
+  [[nodiscard]] SimTime plan_fallback(int src, int dst);
+
+  /// Nominal (jitter-free) cost of one RTS/CTS control round-trip between
+  /// `src` and `dst` with `control_bytes` per leg: overheads, serialization,
+  /// and the skewed wire latency of both directions. Pure arithmetic over
+  /// the pair state — no NIC availability moves and no randomness is
+  /// consumed — used to account what an elided rendezvous saves.
+  [[nodiscard]] double nominal_handshake_ns(int src, int dst, std::int64_t control_bytes) const;
+
   [[nodiscard]] const NetworkConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] int nranks() const noexcept { return nranks_; }
 
   /// Total messages planned so far (diagnostics).
   [[nodiscard]] std::int64_t messages_planned() const noexcept { return messages_planned_; }
 
+  /// Total priced fallback round-trips planned so far (diagnostics).
+  [[nodiscard]] std::int64_t fallbacks_planned() const noexcept { return fallbacks_planned_; }
+
  private:
   int nranks_;
   NetworkConfig cfg_;
   Rng rng_;
+  Rng fallback_rng_;                            // independent stream for fallback pricing
   std::vector<SimTime> send_nic_free_;          // per source rank
   std::vector<SimTime> last_delivery_;          // per (src, dst), FIFO guard
   std::vector<double> pair_latency_factor_;     // per (src, dst), systematic skew
   std::int64_t messages_planned_ = 0;
+  std::int64_t fallbacks_planned_ = 0;
 
   [[nodiscard]] SimTime& pair_last_delivery(int src, int dst) {
     return last_delivery_[static_cast<std::size_t>(src) * static_cast<std::size_t>(nranks_) +
                           static_cast<std::size_t>(dst)];
+  }
+
+  [[nodiscard]] double pair_factor(int src, int dst) const noexcept {
+    return pair_latency_factor_[static_cast<std::size_t>(src) * static_cast<std::size_t>(nranks_) +
+                                static_cast<std::size_t>(dst)];
   }
 };
 

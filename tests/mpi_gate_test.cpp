@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
 
 #include "apps/app.hpp"
@@ -112,12 +113,16 @@ struct Fingerprints {
   std::int64_t final_time = 0;  // simulated ns at the end of the run
 };
 
-Fingerprints run_app(const std::string& app, bool adaptive) {
+Fingerprints run_app(const std::string& app, bool adaptive,
+                     const std::function<void(mpi::WorldConfig&)>& mutate = {}) {
   // The exact machine profile and seed the §2 benches use.
   mpi::WorldConfig cfg = apps::paper_world_config(/*seed=*/2003);
   if (adaptive) {
     cfg.adaptive.enabled = true;
     cfg.adaptive.service.engine.shards = 1;
+  }
+  if (mutate) {
+    mutate(cfg);
   }
   mpi::World world(16, cfg);
   const auto outcome = apps::find_app(app).run(
@@ -186,6 +191,57 @@ TEST(BlockingWrapperGate, TracesCountersAndReportsMatchPreRefactorFingerprints) 
     EXPECT_EQ(fp.report, g.fp.report) << "engine report fingerprint";
     EXPECT_EQ(fp.checksum, g.fp.checksum) << "payload checksum";
     EXPECT_EQ(fp.final_time, g.fp.final_time) << "final simulated time";
+  }
+}
+
+// ------------------------------------------ confidence boundary gate --
+// PolicyConfig::min_confidence sweeps between two pinned endpoints: 1.0
+// must degrade every stream to static per-peer behavior, 0.0 must accept
+// every prediction — the pre-sweep adaptive behavior of the goldens.
+
+TEST(ConfidenceGate, MinConfidenceOneIsBehaviorallyStatic) {
+  // Full new-mechanism stack on both sides (priced fallbacks, per-stream
+  // credits enabled): the only difference is the adaptive loop, and at
+  // threshold 1.0 no stream can ever qualify (warm-up arrivals count as
+  // unpredicted, so observed accuracy stays strictly below 1.0). Every
+  // behavioral fingerprint — traces, report, checksums, final time — must
+  // match the static run exactly; only counters may differ (the adaptive
+  // run still scores its plan).
+  const auto price = [](mpi::WorldConfig& cfg) {
+    cfg.engine.network.fallback_cost = sim::SimTime{20'000};
+    cfg.adaptive.per_stream_credits = true;
+    cfg.adaptive.policy.min_confidence = 1.0;
+  };
+  for (const char* app : {"bt", "cg", "lu"}) {
+    SCOPED_TRACE(app);
+    const Fingerprints st = run_app(app, /*adaptive=*/false, price);
+    const Fingerprints ad = run_app(app, /*adaptive=*/true, price);
+    EXPECT_EQ(ad.logical, st.logical) << "logical trace fingerprint";
+    EXPECT_EQ(ad.physical, st.physical) << "physical trace fingerprint";
+    EXPECT_EQ(ad.report, st.report) << "engine report fingerprint";
+    EXPECT_EQ(ad.checksum, st.checksum) << "payload checksum";
+    EXPECT_EQ(ad.final_time, st.final_time) << "final simulated time";
+  }
+}
+
+TEST(ConfidenceGate, MinConfidenceZeroReproducesAdaptiveGoldens) {
+  // 0.0 is the default, but pin it explicitly: the degrade gate uses a
+  // strict comparison, so "accept any prediction" must stay byte-identical
+  // to the pre-sweep adaptive goldens — counters included.
+  for (const Golden& g : kGolden) {
+    if (!g.adaptive) {
+      continue;
+    }
+    SCOPED_TRACE(g.app);
+    const Fingerprints fp = run_app(g.app, /*adaptive=*/true, [](mpi::WorldConfig& cfg) {
+      cfg.adaptive.policy.min_confidence = 0.0;
+    });
+    EXPECT_EQ(fp.logical, g.fp.logical);
+    EXPECT_EQ(fp.physical, g.fp.physical);
+    EXPECT_EQ(fp.counters, g.fp.counters);
+    EXPECT_EQ(fp.report, g.fp.report);
+    EXPECT_EQ(fp.checksum, g.fp.checksum);
+    EXPECT_EQ(fp.final_time, g.fp.final_time);
   }
 }
 

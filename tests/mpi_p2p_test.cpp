@@ -4,10 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
 #include <numeric>
+#include <tuple>
 #include <vector>
 
+#include "adaptive/policy.hpp"
 #include "common/error.hpp"
 #include "mpi/communicator.hpp"
 #include "mpi/typed.hpp"
@@ -451,6 +454,135 @@ TEST(P2PTrace, NoiseFreePhysicalOrderEqualsLogicalOrder) {
     EXPECT_EQ(logical.senders, physical.senders) << "rank " << r;
     EXPECT_EQ(logical.sizes, physical.sizes) << "rank " << r;
   }
+}
+
+// ------------------------------------------------- priced fallbacks --
+// §2.2: an eager payload that lands with no posted receive bounces through
+// the unexpected pool, and under NetworkConfig::fallback_cost the receiver
+// pays the ask-permission round-trip (two crossings) before the parked
+// bytes become usable. These tests pin the exact simulated-time deltas.
+
+TEST(P2PPriced, UnexpectedEagerPaysExactRoundTrip) {
+  // One forced pre-post miss: the sender fires immediately, the receiver
+  // posts late. With zero jitter and no skew the round-trip is exactly
+  // 2 * fallback_cost, so raising the knob by dC must move final_time by
+  // exactly 2 * dC — the delta pins the two-crossing price without
+  // hand-computing absolute arrival times.
+  auto final_time = [](std::int64_t fallback_ns) {
+    WorldConfig cfg;
+    cfg.engine.network.fallback_cost = sim::SimTime{fallback_ns};
+    World world(2, cfg);
+    world.run([&](Communicator& comm) {
+      std::vector<std::byte> buf(512);
+      if (comm.rank() == 0) {
+        comm.send(buf, 1, 0);
+      } else {
+        comm.compute(sim::SimTime{1'000'000});  // arrival parks first
+        comm.recv(buf, 0, 0);
+      }
+    });
+    EXPECT_EQ(world.aggregate_counters().fallback_round_trips, fallback_ns > 0 ? 1 : 0);
+    return world.engine().stats().final_time;
+  };
+  const auto unpriced = final_time(0);
+  const auto priced = final_time(2'000'000);
+  const auto priced_more = final_time(3'000'000);
+  // Pre-PR behavior was the free bounce: pricing must strictly slow it.
+  EXPECT_GT(priced, unpriced);
+  // Ask + grant: two crossings, each dC longer.
+  EXPECT_EQ(priced_more - priced, sim::SimTime{2'000'000});
+}
+
+TEST(P2PPriced, PostedMatchNeverPaysTheFallback) {
+  // Same exchange with the receive posted before the payload arrives: the
+  // arrival matches immediately, never touches the unexpected pool, and
+  // the priced world must finish at exactly the unpriced time.
+  auto final_time = [](std::int64_t fallback_ns) {
+    WorldConfig cfg;
+    cfg.engine.network.fallback_cost = sim::SimTime{fallback_ns};
+    World world(2, cfg);
+    world.run([&](Communicator& comm) {
+      std::vector<std::byte> buf(512);
+      if (comm.rank() == 0) {
+        comm.compute(sim::SimTime{1'000'000});  // recv posts first
+        comm.send(buf, 1, 0);
+      } else {
+        comm.recv(buf, 0, 0);
+      }
+    });
+    EXPECT_EQ(world.aggregate_counters().fallback_round_trips, 0);
+    return world.engine().stats().final_time;
+  };
+  EXPECT_EQ(final_time(2'000'000), final_time(0));
+}
+
+TEST(P2PPriced, RendezvousControlTrafficIsNeverCharged) {
+  // A late-recv rendezvous exchange parks only the RTS (control bytes) in
+  // the unexpected pool. Control arrivals must not pay the fallback: the
+  // handshake already is the ask-permission protocol.
+  auto final_time = [](std::int64_t fallback_ns) {
+    WorldConfig cfg;
+    cfg.eager_threshold_bytes = 1024;
+    cfg.engine.network.fallback_cost = sim::SimTime{fallback_ns};
+    World world(2, cfg);
+    world.run([&](Communicator& comm) {
+      std::vector<std::byte> buf(8192);
+      if (comm.rank() == 0) {
+        comm.send(buf, 1, 0);
+      } else {
+        comm.compute(sim::SimTime{1'000'000});  // RTS parks unexpected
+        comm.recv(buf, 0, 0);
+      }
+    });
+    const auto c = world.aggregate_counters();
+    EXPECT_EQ(c.rendezvous_received, 1);
+    EXPECT_EQ(c.fallback_round_trips, 0);
+    return world.engine().stats().final_time;
+  };
+  EXPECT_EQ(final_time(2'000'000), final_time(0));
+}
+
+TEST(P2PPriced, ElisionSavingsMatchTheNominalHandshake) {
+  // A warmed-up adaptive receiver elides the RTS/CTS for anticipated large
+  // sends. With zero jitter every elision saves the same two control
+  // transfers, so the policy's elision_saved_ns ledger must equal
+  // elided-count times the network's nominal handshake price — and the
+  // elided world must actually finish earlier than the static one.
+  auto run_once = [](bool adaptive) {
+    WorldConfig cfg;
+    cfg.eager_threshold_bytes = 1024;
+    cfg.adaptive.enabled = adaptive;
+    cfg.adaptive.service.engine.shards = 1;
+    cfg.adaptive.prepost_buffers = false;  // isolate the elision path
+    World world(2, cfg);
+    std::int64_t elided = 0;
+    std::int64_t saved = 0;
+    double nominal = 0.0;
+    world.run([&](Communicator& comm) {
+      std::vector<std::byte> buf(8192);
+      for (int i = 0; i < 12; ++i) {
+        if (comm.rank() == 0) {
+          comm.send(buf, 1, i);
+        } else {
+          comm.compute(sim::SimTime{1'000'000});
+          comm.recv(buf, 0, i);
+        }
+      }
+    });
+    if (const auto* policy = world.adaptive_policy()) {
+      elided = world.aggregate_counters().rendezvous_elided;
+      saved = policy->stats().elision_saved_ns;
+      nominal = world.engine().network().nominal_handshake_ns(0, 1, world.config().control_bytes);
+    }
+    return std::tuple{world.engine().stats().final_time, elided, saved, nominal};
+  };
+  const auto [static_time, s_elided, s_saved, s_nominal] = run_once(false);
+  const auto [adaptive_time, elided, saved, nominal] = run_once(true);
+  EXPECT_EQ(s_elided, 0);
+  EXPECT_EQ(s_saved, 0);
+  ASSERT_GT(elided, 0);
+  EXPECT_EQ(saved, elided * std::llround(nominal));
+  EXPECT_LT(adaptive_time, static_time);
 }
 
 TEST(P2PTrace, CountersTrackUnexpectedBytes) {
